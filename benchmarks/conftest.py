@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+same rows/series the paper reports.  Experiments are deterministic and
+heavy, so every benchmark runs exactly once (pedantic, 1 round).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,48 @@
+"""Benchmarks: ablations of DTP's design choices (per Section 3.3)."""
+
+from repro.experiments.ablations import (
+    run_alpha_sweep,
+    run_asymmetry_ablation,
+    run_beacon_interval_sweep,
+    run_bit_error_ablation,
+    run_cdc_ablation,
+)
+
+
+def test_alpha_sweep(once):
+    result = once(run_alpha_sweep)
+    print()
+    print(result.render())
+    assert result.summary["alpha3_no_excess"]
+    assert result.summary["alpha0_excess"] > 0
+
+
+def test_beacon_interval_sweep(once):
+    result = once(run_beacon_interval_sweep)
+    print()
+    print(result.render())
+    assert result.summary["within_4_up_to_4000"]
+    assert result.summary["degrades_beyond_5000"]
+
+
+def test_cdc_fifo(once):
+    result = once(run_cdc_ablation)
+    print()
+    print(result.render())
+    assert result.summary["cdc_off_reduces_spread"]
+    assert result.summary["both_within_bound"]
+
+
+def test_bit_errors(once):
+    result = once(run_bit_error_ablation)
+    print()
+    print(result.render())
+    assert result.summary["filter_keeps_bound"]
+    assert result.summary["unfiltered_breaks"]
+
+
+def test_cable_asymmetry(once):
+    result = once(run_asymmetry_ablation)
+    print()
+    print(result.render())
+    assert result.summary["asymmetry_costs_precision"]

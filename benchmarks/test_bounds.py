@@ -1,0 +1,21 @@
+"""Benchmarks: Section 3.3's 4TD bound — hop scaling and the fat-tree.
+
+Paper: 25.6 ns per hop; 153.6 ns across a six-hop datacenter (fat-tree)."""
+
+from repro.experiments.bounds import BoundsConfig, run_fat_tree, run_hop_scaling
+from repro.sim import units
+
+
+def test_hop_scaling_4td(once):
+    result = once(run_hop_scaling, BoundsConfig(duration_fs=5 * units.MS))
+    print()
+    print(result.render())
+    assert result.summary["all_within_bound"]
+
+
+def test_fat_tree_153_6ns(once):
+    result = once(run_fat_tree, 4, 3 * units.MS)
+    print()
+    print(result.render())
+    assert result.summary["within_bound"]
+    assert abs(result.summary["bound_ns"] - 153.6) < 1e-9

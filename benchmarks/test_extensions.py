@@ -1,0 +1,38 @@
+"""Benchmarks: extension systems (Sections 2.4.2, 5.4, 8).
+
+Not figures of the paper, but claims it makes in prose:
+
+* boundary-clock errors cascade with hierarchy depth (2.4.2);
+* a master-rooted spanning tree resists out-of-spec oscillators (5.4);
+* SyncE syntonization tightens DTP toward the CDC-only floor (8).
+"""
+
+from repro.experiments.extensions import (
+    run_boundary_cascade,
+    run_spanning_tree_comparison,
+    run_synce_ablation,
+)
+from repro.sim import units
+
+
+def test_boundary_clock_cascade(once):
+    result = once(run_boundary_cascade, [1, 2, 3, 4], 300 * units.SEC)
+    print()
+    print(result.render())
+    assert result.summary["cascade_grows"]
+
+
+def test_spanning_tree_mode(once):
+    result = once(run_spanning_tree_comparison)
+    print()
+    print(result.render())
+    assert result.summary["plain_follows_runaway"]
+    assert result.summary["tree_holds_master_rate"]
+
+
+def test_synce_syntonization(once):
+    result = once(run_synce_ablation)
+    print()
+    print(result.render())
+    assert result.summary["synce_no_worse"]
+    assert result.summary["synce_within_two_ticks"]

@@ -1,0 +1,42 @@
+"""Benchmarks: Figures 6a, 6b, 6c — DTP precision on the Figure 5 testbed.
+
+Paper: offsets between any two directly connected nodes never exceed four
+ticks (25.6 ns), under full MTU load (6a), full jumbo load (6b); 6c is the
+offset distribution at S3."""
+
+from repro.experiments.fig6_dtp import Fig6DtpConfig, run_fig6_dtp, run_fig6c
+from repro.sim import units
+
+
+def test_fig6a_mtu_load(once):
+    result = once(
+        run_fig6_dtp, Fig6DtpConfig(frame_name="mtu", duration_fs=12 * units.MS)
+    )
+    print()
+    print(result.render())
+    assert result.summary["within_direct_bound"]
+    assert result.summary["worst_logged_offset_ns"] <= 25.6
+
+
+def test_fig6b_jumbo_load(once):
+    result = once(
+        run_fig6_dtp, Fig6DtpConfig(frame_name="jumbo", duration_fs=12 * units.MS)
+    )
+    print()
+    print(result.render())
+    assert result.summary["within_direct_bound"]
+
+
+def test_fig6c_offset_distribution(once):
+    result, pdfs = once(
+        run_fig6c,
+        Fig6DtpConfig(frame_name="jumbo", duration_fs=20 * units.MS),
+    )
+    print()
+    print(result.render())
+    print("--- offset PDFs (ticks -> probability), cf. Figure 6c ---")
+    for label, pdf in sorted(pdfs.items()):
+        cells = ", ".join(f"{int(k):+d}: {v:.3f}" for k, v in pdf.items())
+        print(f"  {label:10s} {cells}")
+    for pdf in pdfs.values():
+        assert all(-4 <= center <= 4 for center in pdf)

@@ -1,0 +1,30 @@
+"""Benchmarks: Figures 6d, 6e, 6f — PTP under idle/medium/heavy load.
+
+Paper: hundreds of ns when idle; tens of us at medium load (5 nodes at
+4 Gbps); hundreds of us when heavily loaded (9 Gbps, S11's links spared)."""
+
+from repro.experiments.fig6_ptp import Fig6PtpConfig, run_fig6_ptp
+from repro.sim import units
+
+DURATION_FS = 420 * units.SEC
+
+
+def test_fig6d_idle(once):
+    result = once(run_fig6_ptp, Fig6PtpConfig(load="idle", duration_fs=DURATION_FS))
+    print()
+    print(result.render())
+    assert result.summary["worst_offset_us"] < 1.0  # hundreds of ns
+
+
+def test_fig6e_medium_load(once):
+    result = once(run_fig6_ptp, Fig6PtpConfig(load="medium", duration_fs=DURATION_FS))
+    print()
+    print(result.render())
+    assert 2.0 < result.summary["worst_offset_us"] < 100.0  # tens of us
+
+
+def test_fig6f_heavy_load(once):
+    result = once(run_fig6_ptp, Fig6PtpConfig(load="heavy", duration_fs=DURATION_FS))
+    print()
+    print(result.render())
+    assert result.summary["worst_offset_us"] > 50.0  # hundreds of us

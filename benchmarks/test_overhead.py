@@ -1,0 +1,55 @@
+"""Benchmark: the Table 1 overhead column, quantified.
+
+DTP exchanges ~780k messages per second per link direction (paper §1:
+"hundreds of thousands of protocol messages") with **zero Ethernet
+packets**; PTP and NTP put real packets on real queues."""
+
+from repro.dtp.network import DtpNetwork
+from repro.experiments.overhead import (
+    dtp_overhead,
+    expected_dtp_message_rate,
+    packet_overhead,
+    verify_zero_packet_overhead,
+)
+from repro.network.topology import star
+from repro.phy.specs import PHY_10G
+from repro.ptp.network import PtpConfig, PtpDeployment
+from repro.sim import units
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+
+def _measure():
+    # DTP side.
+    sim = Simulator()
+    dtp_net = DtpNetwork(sim, star(4), RandomStreams(70))
+    dtp_net.start()
+    duration = 4 * units.MS
+    sim.run_until(duration)
+    dtp_report = dtp_overhead(dtp_net, duration)
+    totals = verify_zero_packet_overhead(dtp_net)
+
+    # PTP side.
+    sim2 = Simulator()
+    deployment = PtpDeployment(
+        sim2, star(4), RandomStreams(71), master="h0", config=PtpConfig()
+    )
+    deployment.start()
+    ptp_duration = 120 * units.SEC
+    sim2.run_until(ptp_duration)
+    ptp_report = packet_overhead("PTP", deployment.network, ptp_duration, "ptp")
+    return dtp_report, totals, ptp_report
+
+
+def test_overhead_accounting(once):
+    dtp_report, totals, ptp_report = once(_measure)
+    print()
+    print("--- protocol overhead (Table 1's Overhead column) ---")
+    print(dtp_report.render())
+    print(ptp_report.render())
+    print(f"DTP message totals: {totals}")
+    expected = 2 * expected_dtp_message_rate(200, PHY_10G.period_fs)
+    assert totals["ethernet_packets"] == 0
+    assert dtp_report.packets_per_s == 0.0
+    assert dtp_report.messages_per_link_per_s > 0.8 * expected
+    assert ptp_report.packets_per_s > 0

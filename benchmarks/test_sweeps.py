@@ -1,0 +1,28 @@
+"""Benchmarks: design-space sweeps (beacon x skew, cable length, BER)."""
+
+from repro.experiments.sweeps import sweep_beacon_vs_skew, sweep_ber, sweep_cable_length
+
+
+def test_beacon_vs_skew_sweep(once):
+    result = once(sweep_beacon_vs_skew)
+    print()
+    print(result.render())
+    print("--- worst offset (ticks): rows = beacon interval, cols = ppm gap ---")
+    for row in result.summary["table"]:
+        print(row)
+    assert result.summary["all_within_bound"]
+
+
+def test_cable_length_sweep(once):
+    result = once(sweep_cable_length)
+    print()
+    print(result.render())
+    assert result.summary["all_within_five_ticks"]
+    assert result.summary["integer_tick_lengths_within_four"]
+
+
+def test_ber_sweep(once):
+    result = once(sweep_ber)
+    print()
+    print(result.render())
+    assert result.summary["all_within_bound"]

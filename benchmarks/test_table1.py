@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 1 (NTP vs PTP vs GPS vs DTP).
+
+Paper's rows: NTP us-class, PTP sub-us, GPS ns (unscalable), DTP ns with
+zero packet overhead.  The reproduction must preserve the ordering."""
+
+from repro.experiments.table1 import run_table1
+from repro.sim import units
+
+
+def test_table1(once):
+    result = once(
+        run_table1,
+        packet_protocol_duration_fs=120 * units.SEC,
+        dtp_duration_fs=3 * units.MS,
+    )
+    print()
+    print(result.render())
+    print("--- Table 1 (measured) ---")
+    for row in result.summary["rows"]:
+        print(row)
+    assert result.summary["dtp_beats_ptp"]
+    assert result.summary["ptp_beats_ntp"]
+    assert result.summary["dtp_ns_scale"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (PHY parameters at 1/10/40/100G) and
+verify DTP holds its 4-tick bound at every speed."""
+
+from repro.experiments.table2 import run_table2
+from repro.sim import units
+
+
+def test_table2(once):
+    result = once(run_table2, duration_fs=2 * units.MS)
+    print()
+    print(result.render())
+    print("--- Table 2 ---")
+    for row in result.summary["rows"]:
+        print(row)
+    assert result.summary["all_speeds_within_bound"]
+    assert result.summary["increments_common_unit"]

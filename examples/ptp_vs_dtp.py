@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""PTP vs DTP under increasing network load (the paper's core comparison).
+
+PTP's offsets degrade from hundreds of nanoseconds (idle) to hundreds of
+microseconds (heavy load) because its packets queue behind bulk traffic.
+DTP's offsets do not change at all: its messages ride idle blocks that
+exist at a fixed cadence no matter the load.
+
+Run:  python examples/ptp_vs_dtp.py
+"""
+
+from repro.dtp import DtpNetwork
+from repro.ethernet import JUMBO_FRAME, MTU_FRAME, SaturatedTraffic
+from repro.network import paper_testbed, star
+from repro.ptp import PtpDeployment
+from repro.sim import RandomStreams, Simulator, units
+
+
+def measure_ptp(load: str) -> float:
+    """Worst slave offset (us) in the paper's PTP testbed at one load."""
+    sim = Simulator()
+    deployment = PtpDeployment(
+        sim, star(7), RandomStreams(7), master="h0"
+    )
+    deployment.apply_load(load, exclude_hosts=["h6"] if load == "heavy" else None)
+    deployment.start()
+    worst = 0.0
+    for second in range(1, 241):
+        sim.run_until(second * units.SEC)
+        if second > 120:  # skip convergence
+            worst = max(
+                worst,
+                max(abs(deployment.true_offset_fs(n)) for n in deployment.slaves),
+            )
+    return worst / units.US
+
+
+def measure_dtp(frame) -> float:
+    """Worst adjacent-pair offset (us!) on the Figure 5 testbed."""
+    sim = Simulator()
+    network = DtpNetwork(sim, paper_testbed(), RandomStreams(7))
+    network.start()
+    if frame is not None:
+        network.install_traffic(
+            lambda index, direction: SaturatedTraffic(frame, phase=index * 17),
+            start_tick=20_000,
+        )
+    sim.run_until(1 * units.MS)
+    worst = 0
+    t = sim.now
+    while t < 3 * units.MS:
+        t += 20 * units.US
+        sim.run_until(t)
+        for edge in network.topology.edges:
+            worst = max(worst, abs(network.pair_offset(edge.a, edge.b, t)))
+    return worst * 6.4e-3  # ticks -> us
+
+
+def main() -> None:
+    print("protocol  load                worst offset")
+    for load in ("idle", "medium", "heavy"):
+        worst_us = measure_ptp(load)
+        print(f"PTP       {load:<18s}  {worst_us:12.3f} us")
+    for label, frame in (
+        ("idle", None),
+        ("saturated (MTU)", MTU_FRAME),
+        ("saturated (jumbo)", JUMBO_FRAME),
+    ):
+        worst_us = measure_dtp(frame)
+        print(f"DTP       {label:<18s}  {worst_us:12.3f} us")
+    print()
+    print("PTP degrades by orders of magnitude with load;")
+    print("DTP stays at ~0.0256 us (4 ticks) regardless - the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: synchronize two directly connected 10 GbE nodes with DTP.
+
+Builds the smallest possible DTP network — two NICs joined by a 10 m
+cable — lets the protocol run for a few simulated milliseconds, and shows
+that the clock offset never exceeds the paper's 4-tick (25.6 ns) bound
+even though the two oscillators differ by the worst-case 200 ppm.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.clocks import ConstantSkew
+from repro.dtp import DtpNetwork
+from repro.network import chain
+from repro.sim import RandomStreams, Simulator, units
+
+
+def main() -> None:
+    sim = Simulator()
+    streams = RandomStreams(root_seed=2016)  # SIGCOMM 2016!
+
+    # Two hosts, one cable; worst-case IEEE 802.3 oscillator spread.
+    topology = chain(2)
+    network = DtpNetwork(
+        sim,
+        topology,
+        streams,
+        skews={"n0": ConstantSkew(+100.0), "n1": ConstantSkew(-100.0)},
+    )
+    network.start()
+
+    # Let the INIT handshake and first beacons happen.
+    sim.run_until(1 * units.MS)
+    port = network.ports[("n0", "n1")]
+    print(f"link synchronized: {network.all_synchronized()}")
+    print(f"measured one-way delay: {port.d} ticks (~{port.d * 6.4:.0f} ns)")
+
+    # Watch the offset for 4 more milliseconds of simulated time.
+    worst = 0
+    t = sim.now
+    while t < 5 * units.MS:
+        t += 10 * units.US
+        sim.run_until(t)
+        worst = max(worst, abs(network.pair_offset("n0", "n1", t)))
+
+    print(f"worst offset over 4 ms: {worst} ticks = {worst * 6.4:.1f} ns")
+    print(f"paper bound:            4 ticks = 25.6 ns")
+    assert worst <= 4, "the 4T bound must hold for directly connected peers"
+    print("OK - within the paper's bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Reproduction of "Globally Synchronized Time via Datacenter Networks"
+(Lee, Wang, Shrivastav, Weatherspoon - SIGCOMM 2016).
+
+The package simulates the Datacenter Time Protocol (DTP) at clock-tick
+granularity - oscillators, the 64b/66b PHY, CDC synchronization FIFOs,
+idle-block messaging - together with the PTP/NTP/GPS baselines the paper
+evaluates against.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro.sim import Simulator, RandomStreams, units
+    from repro.network import paper_testbed
+    from repro.dtp import DtpNetwork
+
+    sim = Simulator()
+    net = DtpNetwork(sim, paper_testbed(), RandomStreams(seed=1))
+    net.start()
+    sim.run_until(2 * units.MS)
+    assert net.max_abs_offset() <= 4 * paper_testbed().diameter_hops()
+"""
+
+from . import clocks, dtp, ethernet, gps, network, ntp, phy, ptp, sim
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "clocks",
+    "dtp",
+    "ethernet",
+    "gps",
+    "network",
+    "ntp",
+    "phy",
+    "ptp",
+    "sim",
+]
+
+from . import metrics  # noqa: E402  (clock-stability statistics)
+
+__all__.append("metrics")
+
+from . import scenarios  # noqa: E402  (pre-configured simulation bundles)
+
+__all__.append("scenarios")
+
+from . import apps  # noqa: E402  (Section 1's motivating applications)
+
+__all__.append("apps")

@@ -1,0 +1,22 @@
+"""Applications on synchronized time — the paper's Section 1 motivations.
+
+* :mod:`owd` — precise one-way delay measurement;
+* :mod:`tdma` — packet-level time-division scheduling;
+* :mod:`snapshot` — coordinated network-wide snapshots (Libra-style).
+"""
+
+from .owd import KIND_OWD_PROBE, OneWayDelayMeter, OwdSample
+from .snapshot import SnapshotCoordinator, SnapshotResult
+from .tdma import TdmaReceiver, TdmaSchedule, TdmaSender, run_tdma_round
+
+__all__ = [
+    "KIND_OWD_PROBE",
+    "OneWayDelayMeter",
+    "OwdSample",
+    "SnapshotCoordinator",
+    "SnapshotResult",
+    "TdmaReceiver",
+    "TdmaSchedule",
+    "TdmaSender",
+    "run_tdma_round",
+]

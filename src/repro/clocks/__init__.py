@@ -1,0 +1,29 @@
+"""Clock substrate: oscillators, tick clocks, PHCs, and the TSC."""
+
+from .oscillator import (
+    IEEE_8023_PPM_LIMIT,
+    CompositeSkew,
+    ConstantSkew,
+    Oscillator,
+    RandomWalkSkew,
+    SinusoidalSkew,
+    SkewModel,
+)
+from .clock import AdjustableFrequencyClock, FreeRunningClock, TickClock
+from .tsc import TSC_FREQUENCY_HZ, TSC_PERIOD_FS, TscCounter
+
+__all__ = [
+    "AdjustableFrequencyClock",
+    "CompositeSkew",
+    "ConstantSkew",
+    "FreeRunningClock",
+    "IEEE_8023_PPM_LIMIT",
+    "Oscillator",
+    "RandomWalkSkew",
+    "SinusoidalSkew",
+    "SkewModel",
+    "TSC_FREQUENCY_HZ",
+    "TSC_PERIOD_FS",
+    "TickClock",
+    "TscCounter",
+]

@@ -1,0 +1,42 @@
+"""Invariant-TSC model for the DTP software daemon (paper Section 5.1).
+
+Modern CPUs expose a Time Stamp Counter that increments at a constant rate
+regardless of power state.  The DTP daemon reads the NIC's DTP counter over
+PCIe once in a while and uses the TSC to interpolate between reads.  The
+TSC itself is just another oscillator (typically ~2-3 GHz with its own ppm
+error), so we reuse the oscillator machinery.
+"""
+
+from __future__ import annotations
+
+from ..sim import units
+from .clock import TickClock
+from .oscillator import ConstantSkew, Oscillator, SkewModel
+
+
+#: Nominal TSC frequency used throughout the reproduction (2.9 GHz,
+#: matching the Xeon E5-2690 in the paper's testbed).
+TSC_FREQUENCY_HZ = 2_900_000_000
+TSC_PERIOD_FS = round(units.SEC / TSC_FREQUENCY_HZ)
+
+
+class TscCounter(TickClock):
+    """A free-running invariant TSC."""
+
+    def __init__(self, skew: SkewModel = None, name: str = "tsc", origin_fs: int = 0):
+        oscillator = Oscillator(
+            nominal_period_fs=TSC_PERIOD_FS,
+            skew=skew if skew is not None else ConstantSkew(0.0),
+            update_interval_fs=units.MS,
+            origin_fs=origin_fs,
+            name=name,
+        )
+        super().__init__(oscillator, increment=1, name=name)
+
+    def rdtsc(self, t_fs: int) -> int:
+        """Read the TSC at simulation time ``t_fs`` (alias of counter_at)."""
+        return self.counter_at(t_fs)
+
+    def frequency_hz(self) -> float:
+        """Nominal TSC frequency in Hz."""
+        return units.SEC / self.oscillator.nominal_period_fs

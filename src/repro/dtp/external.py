@@ -1,0 +1,118 @@
+"""External (UTC) synchronization on top of DTP (paper Section 5.2).
+
+DTP is an *internal* synchronization protocol: all counters advance in
+lockstep but carry no relation to wall-clock time.  The paper's extension:
+one server periodically broadcasts ``(DTP counter, UTC)`` pairs; every
+other server estimates the counter-to-UTC frequency ratio from consecutive
+broadcasts and interpolates.  Because all DTP counters tick at the same
+(network-wide maximum) rate, the mapping established at the broadcaster is
+valid everywhere, losing only the daemon's read error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..sim import units
+from ..sim.engine import Simulator
+from .daemon import DtpDaemon
+
+
+@dataclass
+class UtcBroadcast:
+    """One (counter, UTC) pair from the time master."""
+
+    counter: int
+    utc_fs: int
+
+
+class UtcMaster:
+    """The server that knows UTC (via GPS/PTP/NTP) and broadcasts pairs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        daemon: DtpDaemon,
+        utc_error_fs: int = 0,
+        broadcast_interval_fs: int = 100 * units.MS,
+        utc_source: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        self.sim = sim
+        self.daemon = daemon
+        #: Fixed offset between true simulation time and the master's UTC
+        #: source, used when no ``utc_source`` is given.
+        self.utc_error_fs = utc_error_fs
+        #: Optional live UTC source, e.g. ``GpsReceiver.read_fs`` — lets
+        #: the paper's "GPS in concert with DTP" setup (Section 2.4.3) be
+        #: modelled with per-read receiver noise.
+        self.utc_source = utc_source
+        self.broadcast_interval_fs = broadcast_interval_fs
+        self.subscribers: List["UtcSlave"] = []
+        self._running = False
+
+    def subscribe(self, slave: "UtcSlave") -> None:
+        self.subscribers.append(slave)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(0, self._broadcast)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _broadcast(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        if self.utc_source is not None:
+            utc_fs = self.utc_source(now)
+        else:
+            utc_fs = now + self.utc_error_fs
+        pair = UtcBroadcast(
+            counter=self.daemon.get_dtp_counter(now),
+            utc_fs=utc_fs,
+        )
+        for slave in self.subscribers:
+            slave.on_broadcast(pair)
+        self.sim.schedule(self.broadcast_interval_fs, self._broadcast)
+
+
+class UtcSlave:
+    """A server mapping its local DTP counter to UTC."""
+
+    def __init__(self, daemon: DtpDaemon, history: int = 8) -> None:
+        self.daemon = daemon
+        self.history = history
+        self.pairs: List[UtcBroadcast] = []
+        #: UTC femtoseconds per DTP counter unit; seeded from the nominal rate.
+        self._fs_per_count: float = (
+            daemon.device.oscillator.nominal_period_fs / daemon.device.counter_increment
+        )
+
+    def on_broadcast(self, pair: UtcBroadcast) -> None:
+        self.pairs.append(pair)
+        if len(self.pairs) > self.history:
+            self.pairs.pop(0)
+        if len(self.pairs) >= 2:
+            first, last = self.pairs[0], self.pairs[-1]
+            dcount = last.counter - first.counter
+            if dcount > 0:
+                self._fs_per_count = (last.utc_fs - first.utc_fs) / dcount
+
+    def get_utc(self, t_fs: int) -> Optional[int]:
+        """Estimate UTC (fs) at simulation time ``t_fs``; None before sync."""
+        if not self.pairs:
+            return None
+        anchor = self.pairs[-1]
+        counter_now = self.daemon.get_dtp_counter(t_fs)
+        return round(anchor.utc_fs + (counter_now - anchor.counter) * self._fs_per_count)
+
+    def utc_error_fs(self, t_fs: int) -> Optional[int]:
+        """Estimated-UTC minus true UTC (simulation time) at ``t_fs``."""
+        estimate = self.get_utc(t_fs)
+        if estimate is None:
+            return None
+        return estimate - t_fs

@@ -1,0 +1,149 @@
+"""Fault-injection scenarios for DTP (paper Sections 3.2 and 5.4).
+
+The protocol must survive: bit errors on the wire (handled by the reject
+threshold and parity), network partitions (BEACON_JOIN re-merges subnets),
+and out-of-spec oscillators (the jump-rate fault detector).  These helpers
+build those scenarios on top of :class:`~repro.dtp.network.DtpNetwork`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..clocks.oscillator import ConstantSkew, SkewModel
+from ..sim import units
+from .network import DtpNetwork
+
+
+def runaway_skews(
+    node_names: List[str],
+    runaway_node: str,
+    runaway_ppm: float = 500.0,
+    normal_ppm: float = 0.0,
+) -> Dict[str, SkewModel]:
+    """Skew map with one oscillator violating the IEEE +/-100 ppm envelope.
+
+    Section 5.4: such a device drags the whole network's counter rate up
+    (everyone follows the fastest clock) and triggers many jumps at its
+    peers — the condition the jump-rate fault detector looks for.
+    """
+    skews: Dict[str, SkewModel] = {
+        name: ConstantSkew(normal_ppm) for name in node_names
+    }
+    skews[runaway_node] = ConstantSkew(runaway_ppm)
+    return skews
+
+
+def schedule_partition(
+    network: DtpNetwork,
+    a: str,
+    b: str,
+    down_at_fs: int,
+    up_at_fs: int,
+) -> None:
+    """Cut the a-b link at ``down_at_fs`` and heal it at ``up_at_fs``.
+
+    While partitioned the two sides drift apart; on heal, the INIT exchange
+    re-measures the OWD and BEACON_JOIN lets the slower subnet jump forward
+    to the faster one's counter (Section 3.2, network dynamics).
+    """
+    if up_at_fs <= down_at_fs:
+        raise ValueError("heal must come after the cut")
+    network.sim.schedule_at(down_at_fs, network.down_link, a, b)
+    network.sim.schedule_at(up_at_fs, network.up_link, a, b)
+
+
+def expected_partition_divergence_ticks(
+    partition_fs: int, ppm_gap: float, period_fs: int = units.TICK_10G_FS
+) -> float:
+    """Counter divergence two subnets accumulate while partitioned."""
+    return partition_fs / period_fs * ppm_gap * 1e-6
+
+
+class FlappingLink:
+    """A link that repeatedly goes down and comes back up.
+
+    Each heal re-runs INIT (fresh OWD measurement) and BEACON_JOIN; a
+    synchronization protocol that accumulated state across flaps would
+    drift, so this is the regression scenario for link churn.
+    """
+
+    def __init__(
+        self,
+        network: DtpNetwork,
+        a: str,
+        b: str,
+        down_every_fs: int,
+        down_for_fs: int,
+        start_fs: int = 0,
+        flaps: int = 10,
+    ) -> None:
+        if down_for_fs >= down_every_fs:
+            raise ValueError("down_for must be shorter than the flap period")
+        self.network = network
+        self.a = a
+        self.b = b
+        self.flap_count = 0
+        for index in range(flaps):
+            down_at = start_fs + index * down_every_fs
+            up_at = down_at + down_for_fs
+            network.sim.schedule_at(max(down_at, network.sim.now), self._down)
+            network.sim.schedule_at(max(up_at, network.sim.now), self._up)
+
+    def _down(self) -> None:
+        self.network.down_link(self.a, self.b)
+        self.flap_count += 1
+
+    def _up(self) -> None:
+        self.network.up_link(self.a, self.b)
+
+
+def make_two_faced(network: DtpNetwork, node: str, victim: str, lie_ticks: int) -> None:
+    """Turn ``node`` into a two-faced clock toward ``victim``.
+
+    The paper *assumes* these away (Section 3.1: "no 'two-faced' clocks
+    [Lamport & Melliar-Smith] or Byzantine failures which can report
+    different clock counters to different peers") — this injector shows
+    why: a consistent small lie (within the +/-8 reject window) drags the
+    victim's side of the network ahead of everyone else and silently
+    breaks the 4TD bound.  Detecting it needs Byzantine-tolerant protocols
+    outside DTP's scope.
+    """
+    port = network.ports[(node, victim)]
+    device = network.devices[node]
+    increment = device.counter_increment
+
+    def lying_counter(t_fs: int) -> int:
+        return device.global_counter(t_fs) + lie_ticks * increment
+
+    port._tx_counter = lying_counter
+
+
+def oscillator_step(
+    network: DtpNetwork,
+    node: str,
+    at_fs: int,
+    new_ppm: float,
+) -> None:
+    """Schedule a sudden frequency step (thermal shock) on one device.
+
+    Implemented by swapping the oscillator's skew model at ``at_fs``; the
+    piecewise-segment machinery picks the new rate up at the next segment
+    boundary (within one update interval).
+    """
+    from ..clocks.oscillator import ConstantSkew, SkewModel
+
+    device = network.devices[node]
+
+    class _SteppedSkew(SkewModel):
+        def __init__(self, before: SkewModel, step_fs: int, after_ppm: float):
+            self.before = before
+            self.step_fs = step_fs
+            self.after_ppm = after_ppm
+
+        def ppm_at(self, t_fs: int) -> float:
+            if t_fs < self.step_fs:
+                return self.before.ppm_at(t_fs)
+            return self.after_ppm
+
+    device.oscillator.skew = _SteppedSkew(device.oscillator.skew, at_fs, new_ppm)

@@ -1,0 +1,428 @@
+"""A DTP-enabled network port (paper Algorithm 1, Sections 3.2 and 4.2).
+
+Each port owns a *local counter* ``lc`` clocked by its device's oscillator.
+The FSM:
+
+* **T0** — link up: ``lc <- gc``; send ``(INIT, lc)``.
+* **T1** — on ``(INIT, c)``: reply ``(INIT_ACK, c)``.
+* **T2** — on ``(INIT_ACK, c)``: ``d <- (lc - c - alpha) / 2``; the port is
+  synchronized and sends a ``BEACON_JOIN`` so a newly joining device (or a
+  healed partition) can make a large adjustment.
+* **T3** — every ``beacon_interval`` ticks: send ``(BEACON, gc)``.
+* **T4** — on ``(BEACON, c)``: ``lc <- max(lc, c + d)``.
+
+Messages ride idle blocks: a transmission waits for the traffic model's
+next ``/E/`` slot, crosses the wire after the deterministic TX pipeline and
+propagation delay, is sampled into the receiver's clock domain through the
+CDC synchronization FIFO (the 0-1 tick random delay), then traverses the RX
+pipeline before the control logic reacts.  Fault handling follows
+Section 3.2: counters off by more than eight are rejected, an optional
+parity bit protects the LSBs, and a peer that forces too many jumps in a
+window is declared faulty and ignored.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..clocks.clock import TickClock
+from ..phy.ber import BitErrorInjector
+from ..phy.blocks import Block66, BlockError, embed_bits_in_idle, extract_bits_from_idle
+from ..phy.cdc import SyncFifo
+from ..phy.pipeline import PhyLatencyConfig, rx_process_time, tx_exit_time
+from ..ethernet.traffic import IdleLink, TrafficModel
+from ..sim.engine import Event, Simulator
+from . import messages as dtpmsg
+from .device import DtpDevice
+
+#: Paper Section 3.3: alpha = 3 keeps the measured OWD at or below the true
+#: delay so the global counter never runs faster than the fastest clock.
+DEFAULT_ALPHA = 3
+
+#: Paper Section 4.4: a saturated MTU link still yields one idle block per
+#: ~200 cycles, so 200 ticks is the default (and worst-case-MTU) interval.
+DEFAULT_BEACON_INTERVAL_TICKS = 200
+
+
+class PortState(enum.Enum):
+    DOWN = "down"
+    INIT = "init"
+    SYNCHRONIZED = "synchronized"
+
+
+@dataclass
+class DtpPortConfig:
+    """Tunables of one DTP port (defaults reproduce the paper's prototype)."""
+
+    alpha: int = DEFAULT_ALPHA
+    beacon_interval_ticks: int = DEFAULT_BEACON_INTERVAL_TICKS
+    #: Resend INIT if no INIT_ACK arrives within this many ticks.
+    init_retry_ticks: int = 10_000
+    #: Send a BEACON_MSB once per this many beacons (Section 4.4).
+    msb_interval_beacons: int = 1_000
+    #: Section 3.2: ignore BEACONs whose counter is off by more than this.
+    reject_threshold_ticks: int = 8
+    #: Enable the parity bit over the counter LSBs.
+    parity: bool = False
+    #: Fault detection: examined every ``fault_window_beacons`` received
+    #: beacons; more than ``max_jumps_per_window`` adjustments or more than
+    #: ``max_rejects_per_window`` out-of-range counters marks the peer
+    #: faulty.  ``None`` disables the corresponding check.
+    fault_window_beacons: int = 1_000
+    max_jumps_per_window: Optional[int] = None
+    max_rejects_per_window: Optional[int] = 20
+    latency: PhyLatencyConfig = field(default_factory=PhyLatencyConfig)
+
+
+@dataclass
+class PortStats:
+    """Counters for observability and the fault-handling tests."""
+
+    sent: Dict[str, int] = field(default_factory=dict)
+    received: Dict[str, int] = field(default_factory=dict)
+    jumps: int = 0
+    rejected_out_of_range: int = 0
+    rejected_parity: int = 0
+    rejected_undecodable: int = 0
+    lost_on_wire: int = 0
+    beacons_in_window: int = 0
+    jumps_in_window: int = 0
+    rejects_in_window: int = 0
+
+    def count_sent(self, mtype: dtpmsg.MessageType) -> None:
+        self.sent[mtype.name] = self.sent.get(mtype.name, 0) + 1
+
+    def count_received(self, mtype: dtpmsg.MessageType) -> None:
+        self.received[mtype.name] = self.received.get(mtype.name, 0) + 1
+
+
+class DtpPort:
+    """One side of a DTP link."""
+
+    def __init__(
+        self,
+        device: DtpDevice,
+        name: str,
+        config: Optional[DtpPortConfig] = None,
+        traffic: Optional[TrafficModel] = None,
+        ber: Optional[BitErrorInjector] = None,
+    ) -> None:
+        self.device = device
+        self.sim: Simulator = device.sim
+        self.name = name
+        self.config = config or DtpPortConfig()
+        self.osc = device.oscillator
+        self.lc = TickClock(
+            self.osc, increment=device.counter_increment, name=f"{name}.lc"
+        )
+        self.traffic = traffic or IdleLink()
+        self.ber = ber
+        self.fifo = SyncFifo(
+            self.osc, device.streams.stream(f"cdc/{name}")
+        )
+        self.state = PortState.DOWN
+        self.peer: Optional["DtpPort"] = None
+        #: One-way wire propagation delay from this port's TX to the peer.
+        self.wire_delay_fs = 0
+        #: Measured one-way delay in counter units (T2); None until INIT done.
+        self.d: Optional[int] = None
+        self.peer_faulty = False
+        self.stats = PortStats()
+        #: Remote counter high bits learned from BEACON_MSB.
+        self.remote_msb: Optional[int] = None
+        self.on_log: Optional[Callable[[int, int, int], None]] = None
+        self.on_fault: Optional[Callable[["DtpPort"], None]] = None
+        self._beacons_since_msb = 0
+        self._last_tx_slot = -1
+        self._beacon_event: Optional[Event] = None
+        self._init_retry_event: Optional[Event] = None
+        device.add_port(self)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect(self, peer: "DtpPort", forward_delay_fs: int, reverse_delay_fs: int) -> None:
+        """Attach this port to ``peer`` over a cable."""
+        self.peer = peer
+        peer.peer = self
+        self.wire_delay_fs = forward_delay_fs
+        peer.wire_delay_fs = reverse_delay_fs
+
+    def can_transmit(self) -> bool:
+        return self.state is not PortState.DOWN and self.peer is not None
+
+    @property
+    def synchronized(self) -> bool:
+        return self.state is PortState.SYNCHRONIZED
+
+    # ------------------------------------------------------------------
+    # Link bring-up (T0)
+    # ------------------------------------------------------------------
+    def link_up(self) -> None:
+        """The link to the peer is established: run Transition T0."""
+        if self.peer is None:
+            raise RuntimeError(f"port {self.name!r} has no peer")
+        now = self.sim.now
+        if self.device.powered_on_fs is None:
+            self.device.powered_on_fs = now
+        self.state = PortState.INIT
+        self.lc.set_counter(now, self.device.global_counter(now))
+        self._send_init()
+
+    def link_down(self) -> None:
+        """Stop all port activity (cable pulled / peer died)."""
+        self.state = PortState.DOWN
+        self.d = None
+        self.sim.cancel(self._beacon_event)
+        self.sim.cancel(self._init_retry_event)
+        self._beacon_event = None
+        self._init_retry_event = None
+
+    def _send_init(self) -> None:
+        if self.state is not PortState.INIT:
+            return
+        self._schedule_transmit(
+            dtpmsg.MessageType.INIT,
+            lambda t: dtpmsg.counter_low(self.lc.counter_at(t)),
+        )
+        retry_fs = self.config.init_retry_ticks * self.osc.nominal_period_fs
+        self.sim.cancel(self._init_retry_event)
+        self._init_retry_event = self.sim.schedule(retry_fs, self._send_init)
+
+    # ------------------------------------------------------------------
+    # Transmission machinery
+    # ------------------------------------------------------------------
+    def _schedule_transmit(
+        self,
+        mtype: dtpmsg.MessageType,
+        payload_builder: Callable[[int], int],
+    ) -> None:
+        """Queue a message for the next idle block (monotonic slot arbiter)."""
+        tick = self.osc.ticks_at(self.sim.now)
+        slot = self.traffic.next_idle_tick(max(tick + 1, self._last_tx_slot + 1))
+        self._last_tx_slot = slot
+        self.sim.schedule_at(
+            self.osc.time_of_tick(slot), self._transmit_now, mtype, payload_builder
+        )
+
+    def _transmit_now(
+        self, mtype: dtpmsg.MessageType, payload_builder: Callable[[int], int]
+    ) -> None:
+        if self.state is PortState.DOWN or self.peer is None:
+            return
+        now = self.sim.now
+        payload = payload_builder(now)
+        bits56 = dtpmsg.encode(dtpmsg.DtpMessage(mtype, payload))
+        self.stats.count_sent(mtype)
+        exit_fs = tx_exit_time(self.osc, now, self.config.latency)
+        arrival_fs = exit_fs + self.wire_delay_fs
+        # The message crosses the wire as a genuine /E/ control block; bit
+        # errors strike the full 66 bits, so a flip in the sync header or
+        # block-type octet destroys the block (the receiver sees a code
+        # violation), while flips in the idle characters corrupt the
+        # counter and must be caught by the Section 3.2 filters.
+        wire_bits = embed_bits_in_idle(bits56).to_int()
+        if self.ber is not None:
+            wire_bits = self.ber.corrupt(wire_bits, 66)
+        self.sim.schedule_at(arrival_fs, self.peer._arrive, wire_bits)
+
+    # ------------------------------------------------------------------
+    # Reception machinery
+    # ------------------------------------------------------------------
+    def _arrive(self, wire_bits: Optional[int]) -> None:
+        """First bit of a DTP-bearing 66-bit block reaches our RX."""
+        if self.state is PortState.DOWN:
+            return
+        if wire_bits is None:
+            self.stats.lost_on_wire += 1
+            return
+        try:
+            block = Block66.from_int(wire_bits)
+            if not block.is_idle:
+                raise BlockError("not an idle block")
+            bits56 = extract_bits_from_idle(block)
+        except BlockError:
+            # Sync header or block type corrupted: the PCS drops the block.
+            self.stats.lost_on_wire += 1
+            return
+        process_fs = rx_process_time(
+            self.sim.now, self.fifo, self.osc, self.config.latency
+        )
+        self.sim.schedule_at(process_fs, self._process, bits56)
+
+    def _process(self, bits56: int) -> None:
+        if self.state is PortState.DOWN:
+            return
+        try:
+            message = dtpmsg.decode(bits56)
+        except dtpmsg.MessageError:
+            self.stats.rejected_undecodable += 1
+            return
+        self.stats.count_received(message.mtype)
+        now = self.sim.now
+        handler = {
+            dtpmsg.MessageType.INIT: self._on_init,
+            dtpmsg.MessageType.INIT_ACK: self._on_init_ack,
+            dtpmsg.MessageType.BEACON: self._on_beacon,
+            dtpmsg.MessageType.BEACON_JOIN: self._on_join,
+            dtpmsg.MessageType.BEACON_MSB: self._on_msb,
+            dtpmsg.MessageType.LOG: self._on_log_message,
+        }[message.mtype]
+        handler(message.payload, now)
+
+    # ------------------------------------------------------------------
+    # Protocol transitions
+    # ------------------------------------------------------------------
+    def _on_init(self, payload: int, now: int) -> None:
+        """T1: echo the peer's counter back in an INIT_ACK."""
+        self._schedule_transmit(dtpmsg.MessageType.INIT_ACK, lambda t: payload)
+
+    def _on_init_ack(self, payload: int, now: int) -> None:
+        """T2: measure the one-way delay and enter the BEACON phase."""
+        if self.state is not PortState.INIT:
+            return  # duplicate ACK after a retry
+        lc_now = self.lc.counter_at(now)
+        echoed = dtpmsg.reconstruct_counter(payload, lc_now)
+        alpha = self.config.alpha * self.device.counter_increment
+        self.d = max(0, (lc_now - echoed - alpha) // 2)
+        self.state = PortState.SYNCHRONIZED
+        self.sim.cancel(self._init_retry_event)
+        self._init_retry_event = None
+        # Network dynamics: agree on the maximum counter across the link.
+        self.send_join()
+        self._schedule_beacon_timeout()
+
+    def _schedule_beacon_timeout(self) -> None:
+        tick = self.osc.ticks_at(self.sim.now)
+        when = self.osc.time_of_tick(tick + self.config.beacon_interval_ticks)
+        self._beacon_event = self.sim.schedule_at(when, self._beacon_timeout)
+
+    def _beacon_timeout(self) -> None:
+        """T3: send (BEACON, gc); occasionally a BEACON_MSB too."""
+        if self.state is not PortState.SYNCHRONIZED:
+            return
+        self._schedule_transmit(dtpmsg.MessageType.BEACON, self._beacon_payload)
+        self._beacons_since_msb += 1
+        if self._beacons_since_msb >= self.config.msb_interval_beacons:
+            self._beacons_since_msb = 0
+            self._schedule_transmit(
+                dtpmsg.MessageType.BEACON_MSB,
+                lambda t: dtpmsg.counter_high(self._tx_counter(t)),
+            )
+        self._schedule_beacon_timeout()
+
+    def _tx_counter(self, t_fs: int) -> int:
+        """The counter value beacons carry: the device's global counter."""
+        return self.device.global_counter(t_fs)
+
+    def _beacon_payload(self, t_fs: int) -> int:
+        counter = self._tx_counter(t_fs)
+        if self.config.parity:
+            return dtpmsg.payload_with_parity(counter)
+        return dtpmsg.counter_low(counter)
+
+    def _on_beacon(self, payload: int, now: int) -> None:
+        """T4: ``lc <- max(lc, c + d)`` with Section 3.2 fault filtering."""
+        if self.state is not PortState.SYNCHRONIZED or self.d is None:
+            return
+        if self.peer_faulty:
+            return
+        lc_now = self.lc.counter_at(now)
+        if self.config.parity:
+            if not dtpmsg.check_parity(payload):
+                self.stats.rejected_parity += 1
+                return
+            low = dtpmsg.parity_counter_field(payload)
+            remote = dtpmsg.reconstruct_counter(
+                low, lc_now, bits=dtpmsg.PARITY_PAYLOAD_BITS
+            )
+        else:
+            remote = dtpmsg.reconstruct_counter(payload, lc_now)
+        candidate = remote + self.d
+        # Plausibility is judged against the free-running counter: a
+        # stalled follower (spanning-tree mode) legitimately lags its
+        # beacons, and must not reject its own catch-up.
+        delta = candidate - self.lc.reference_counter_at(now)
+        self.stats.beacons_in_window += 1
+        threshold = self.config.reject_threshold_ticks * self.device.counter_increment
+        if abs(delta) > threshold:
+            self.stats.rejected_out_of_range += 1
+            self.stats.rejects_in_window += 1
+            self._fault_window_tick()
+            return
+        if self.lc.adjust_to_max(now, candidate):
+            self.stats.jumps += 1
+            self.stats.jumps_in_window += 1
+            self.device.on_local_jump(self, now)
+        self._fault_window_tick()
+
+    def _fault_window_tick(self) -> None:
+        cfg = self.config
+        if self.stats.beacons_in_window < cfg.fault_window_beacons:
+            return
+        jumps = self.stats.jumps_in_window
+        rejects = self.stats.rejects_in_window
+        self.stats.beacons_in_window = 0
+        self.stats.jumps_in_window = 0
+        self.stats.rejects_in_window = 0
+        too_many_jumps = (
+            cfg.max_jumps_per_window is not None and jumps > cfg.max_jumps_per_window
+        )
+        too_many_rejects = (
+            cfg.max_rejects_per_window is not None
+            and rejects > cfg.max_rejects_per_window
+        )
+        if too_many_jumps or too_many_rejects:
+            self.peer_faulty = True
+            if self.on_fault is not None:
+                self.on_fault(self)
+
+    def send_join(self) -> None:
+        """Send a BEACON_JOIN carrying our global counter."""
+        if not self.can_transmit():
+            return
+        self._schedule_transmit(
+            dtpmsg.MessageType.BEACON_JOIN,
+            lambda t: dtpmsg.counter_low(self._tx_counter(t)),
+        )
+
+    def _on_join(self, payload: int, now: int) -> None:
+        """BEACON_JOIN: allow an arbitrarily large forward adjustment."""
+        if self.d is None:
+            return  # our own INIT exchange will reconcile counters shortly
+        lc_now = self.lc.counter_at(now)
+        remote = dtpmsg.reconstruct_counter(payload, lc_now)
+        candidate = remote + self.d
+        if self.lc.adjust_to_max(now, candidate):
+            self.stats.jumps += 1
+            self.device.on_join(self, now)
+
+    def _on_msb(self, payload: int, now: int) -> None:
+        self.remote_msb = payload
+
+    # ------------------------------------------------------------------
+    # Measurement channel (paper Section 6.2)
+    # ------------------------------------------------------------------
+    def send_log(self) -> None:
+        """Inject a log record stamped with our current global counter."""
+        self._schedule_transmit(
+            dtpmsg.MessageType.LOG,
+            lambda t: dtpmsg.counter_low(self._tx_counter(t)),
+        )
+
+    def _on_log_message(self, payload: int, now: int) -> None:
+        """Compute offset_hw = t2 - t1 - OWD, as the paper's logger does."""
+        if self.on_log is None or self.d is None:
+            return
+        t2 = self.device.global_counter(now)
+        t1 = dtpmsg.reconstruct_counter(payload, t2)
+        offset = t2 - t1 - self.d
+        self.on_log(offset, t2, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DtpPort(name={self.name!r}, state={self.state.value}, "
+            f"d={self.d}, jumps={self.stats.jumps})"
+        )

@@ -1,0 +1,148 @@
+"""Master-rooted DTP (paper Section 5.4, left as future work — built here).
+
+Plain DTP follows the *fastest* oscillator in the network.  If one device
+drifts outside the IEEE envelope, everyone follows it.  Section 5.4
+sketches the fix: elect a node with a trustworthy oscillator as master,
+build a spanning tree from it, and have every child track its **parent's**
+counter instead of the network maximum — stalling its local counter when
+its own oscillator runs fast, so the counter stays monotonic.
+
+This module implements that design:
+
+* :class:`FollowerClock` — a tick clock that can hold (stall) at a value;
+* :func:`configure_spanning_tree` — BFS tree over an existing
+  :class:`~repro.dtp.network.DtpNetwork`, rewiring each non-root device to
+  use its parent-facing port as the time authority.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..clocks.clock import TickClock
+from ..network.topology import Topology
+from .network import DtpNetwork
+from .port import DtpPort
+
+
+class FollowerClock(TickClock):
+    """A tick clock that tracks an authority and can stall.
+
+    ``counter_at`` never exceeds the current hold value (when set) and
+    never decreases.  ``track(t, candidate)``:
+
+    * candidate ahead  -> jump forward to it (and release any hold);
+    * candidate behind -> freeze at the current value until the authority
+      catches up (the "stall occasionally" of Section 5.4).
+    """
+
+    def __init__(self, oscillator, increment: int = 1, name: str = "") -> None:
+        super().__init__(oscillator, increment=increment, name=name)
+        self._hold: Optional[int] = None
+        self.stalls = 0
+
+    def counter_at(self, t_fs: int) -> int:
+        free = super().counter_at(t_fs)
+        if self._hold is not None:
+            if free >= self._hold:
+                self._hold = None  # caught up: the stall is over
+            else:
+                return self._hold
+        return free
+
+    def reference_counter_at(self, t_fs: int) -> int:
+        """The free-running value, ignoring any stall hold."""
+        return super().counter_at(t_fs)
+
+    def track(self, t_fs: int, candidate: int) -> str:
+        """Follow the authority's counter; returns the action taken."""
+        current = self.counter_at(t_fs)
+        if candidate > current:
+            self._hold = None
+            self.set_counter(t_fs, candidate)
+            self.adjustments += 1
+            return "jump"
+        if candidate < current:
+            # Our oscillator ran fast by (current - candidate) ticks.
+            # Drop exactly that many: rewind the free-running base to the
+            # candidate and hold the displayed value until it catches up —
+            # the counter stalls for delta tick periods, no longer.
+            self._hold = current
+            self.set_counter(t_fs, candidate)
+            self.stalls += 1
+            return "stall"
+        self._hold = None
+        return "hold"
+
+    def adjust_to_max(self, t_fs: int, candidate: int) -> bool:
+        """In follower mode every beacon goes through :meth:`track`."""
+        return self.track(t_fs, candidate) == "jump"
+
+
+def configure_spanning_tree(network: DtpNetwork, master: str) -> Dict[str, Optional[str]]:
+    """Turn a DtpNetwork into a master-rooted tree (call before start()).
+
+    Every non-root device's parent-facing port gets a :class:`FollowerClock`
+    and becomes the device's time authority: beacons transmitted out of any
+    port carry that port's counter, so the master's time flows down the
+    tree.  Ports facing children keep normal max() behaviour but their
+    beacons are ignored upstream (the parent's authority is its own parent).
+
+    Returns the parent map (node -> parent, master -> None).
+    """
+    topology: Topology = network.topology
+    if master not in topology.nodes:
+        raise ValueError(f"unknown master {master!r}")
+
+    parents: Dict[str, Optional[str]] = {master: None}
+    frontier: List[str] = [master]
+    while frontier:
+        next_frontier: List[str] = []
+        for node in frontier:
+            for peer in topology.neighbors(node):
+                if peer not in parents:
+                    parents[peer] = node
+                    next_frontier.append(peer)
+        frontier = next_frontier
+    if len(parents) != len(topology.nodes):
+        raise ValueError("topology is not connected; cannot build a tree")
+
+    for node, parent in parents.items():
+        device = network.devices[node]
+        if parent is None:
+            # The root is the authority: nothing may adjust it, so all of
+            # its ports ignore beacon adjustments.
+            for port in device.ports:
+                port.lc = _InertClock(
+                    device.oscillator,
+                    increment=device.counter_increment,
+                    name=f"{port.name}.inert",
+                )
+            continue
+        uplink: DtpPort = network.ports[(node, parent)]
+        follower = FollowerClock(
+            device.oscillator,
+            increment=device.counter_increment,
+            name=f"{uplink.name}.follower",
+        )
+        follower.offset = uplink.lc.offset
+        uplink.lc = follower
+        # The device's global counter *is* the uplink's follower counter.
+        device.gc = follower
+        # Downstream-facing ports must not drag the authority around via
+        # max(): children's beacons are informational only.
+        for port in device.ports:
+            if port is not uplink:
+                port.lc = _InertClock(
+                    device.oscillator,
+                    increment=device.counter_increment,
+                    name=f"{port.name}.inert",
+                )
+    return parents
+
+
+class _InertClock(TickClock):
+    """A local counter that ignores beacon adjustments (child-facing)."""
+
+    def adjust_to_max(self, t_fs: int, candidate: int) -> bool:
+        return False

@@ -1,0 +1,86 @@
+"""Ethernet frame geometry.
+
+What DTP cares about is *when idle blocks occur on the wire*: the standard
+guarantees at least twelve /I/ characters (one full /E/ block) between any
+two frames, so even a saturated link yields one DTP slot per frame.  The
+numbers below reproduce the paper's Section 4.4 arithmetic: an MTU frame
+(1522 B + 8 B preamble) occupies ~191 blocks, so beacons can flow every
+~200 cycles; a 9 kB jumbo frame occupies ~1129 blocks, hence every ~1200.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..phy.specs import PHY_10G, PhySpec
+
+PREAMBLE_BYTES = 8
+ETHERNET_HEADER_BYTES = 14
+FCS_BYTES = 4
+#: Minimum interpacket gap mandated by IEEE 802.3 (twelve /I/ characters).
+MIN_IPG_BYTES = 12
+
+MIN_FRAME_BYTES = 64
+#: The paper's "MTU-sized" frame: header + 1500 B payload + FCS.
+MTU_FRAME_BYTES = 1522
+#: The paper's "jumbo-sized (~9kB)" frame, chosen so the PHY needs 1129
+#: blocks, matching Section 4.4.
+JUMBO_FRAME_BYTES = 9024
+
+
+class FrameError(ValueError):
+    """Raised for impossible frame geometries."""
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """Geometry of one frame size on one PHY."""
+
+    frame_bytes: int
+    phy: PhySpec = PHY_10G
+
+    def __post_init__(self) -> None:
+        if self.frame_bytes < MIN_FRAME_BYTES:
+            raise FrameError(
+                f"frame of {self.frame_bytes} B is below the 64 B minimum"
+            )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the wire including preamble (IPG accounted separately)."""
+        return self.frame_bytes + PREAMBLE_BYTES
+
+    @property
+    def blocks(self) -> int:
+        """PCS blocks the frame occupies."""
+        return self.phy.blocks_for_bytes(self.wire_bytes)
+
+    @property
+    def slot_blocks(self) -> int:
+        """Blocks from one frame start to the next on a saturated link.
+
+        One mandatory idle block (>= 12 /I/) separates back-to-back frames;
+        that idle block is DTP's transmission opportunity.
+        """
+        return self.blocks + 1
+
+    def serialization_fs(self) -> int:
+        """Nominal time to put the frame (without IPG) on the wire."""
+        return self.blocks * self.phy.period_fs
+
+    def payload_bytes(self) -> int:
+        """L2 payload (frame minus header and FCS)."""
+        return self.frame_bytes - ETHERNET_HEADER_BYTES - FCS_BYTES
+
+
+MTU_FRAME = FrameSpec(MTU_FRAME_BYTES)
+JUMBO_FRAME = FrameSpec(JUMBO_FRAME_BYTES)
+MIN_FRAME = FrameSpec(MIN_FRAME_BYTES)
+
+
+def beacon_interval_ticks_for(frame: FrameSpec) -> int:
+    """Worst-case DTP beacon spacing on a link saturated with ``frame``.
+
+    Paper Section 4.4: ~200 cycles for MTU frames, ~1200 for jumbo.
+    """
+    return frame.slot_blocks

@@ -1,0 +1,54 @@
+"""Experiments: one module per table/figure of the paper's evaluation.
+
+See DESIGN.md's per-experiment index for the mapping.
+"""
+
+from . import (
+    ablations,
+    asciiplot,
+    bounds,
+    convergence,
+    extensions,
+    fig6_dtp,
+    fig6_ptp,
+    fig7_daemon,
+    hybrid_sync,
+    overhead,
+    stability,
+    sweeps,
+    table1,
+    table2,
+    workloads,
+)
+from .harness import (
+    ExperimentResult,
+    PeriodicSampler,
+    TimeSeries,
+    format_ns,
+    format_us,
+    histogram,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "PeriodicSampler",
+    "TimeSeries",
+    "ablations",
+    "asciiplot",
+    "bounds",
+    "convergence",
+    "extensions",
+    "fig6_dtp",
+    "fig6_ptp",
+    "fig7_daemon",
+    "format_ns",
+    "format_us",
+    "histogram",
+    "hybrid_sync",
+    "overhead",
+    "stability",
+    "sweeps",
+    "table1",
+    "table2",
+    "workloads",
+]

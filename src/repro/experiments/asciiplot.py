@@ -1,0 +1,82 @@
+"""Dependency-free ASCII rendering of experiment series.
+
+The paper's figures are scatter/line plots of offset vs time and PDFs.
+The CLI renders the same shapes in the terminal so a reproduction run can
+be eyeballed against the paper without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .harness import TimeSeries
+
+
+def render_series(
+    series: TimeSeries,
+    width: int = 72,
+    height: int = 14,
+    y_label: str = "",
+    y_bounds: Optional[tuple] = None,
+) -> str:
+    """Scatter-plot one series as ASCII (time on x, value on y)."""
+    if not series.values:
+        return f"[{series.label}: empty]"
+    values = series.values
+    lo = min(values) if y_bounds is None else y_bounds[0]
+    hi = max(values) if y_bounds is None else y_bounds[1]
+    if hi == lo:
+        hi = lo + 1
+    grid = [[" "] * width for _ in range(height)]
+    count = len(values)
+    for index, value in enumerate(values):
+        x = min(width - 1, index * width // count)
+        clamped = min(max(value, lo), hi)
+        y = int((clamped - lo) / (hi - lo) * (height - 1))
+        row = height - 1 - y
+        grid[row][x] = "*" if grid[row][x] == " " else "#"
+    lines = [f"{series.label}  [{lo:.2f} .. {hi:.2f}] {y_label}"]
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    pdf: Dict[float, float], width: int = 40, label: str = ""
+) -> str:
+    """Horizontal-bar PDF, one row per bin (the Figure 6c shape)."""
+    if not pdf:
+        return f"[{label}: empty]"
+    peak = max(pdf.values())
+    lines = [f"{label}  (peak p={peak:.3f})"] if label else []
+    for center in sorted(pdf):
+        bar = "#" * max(1, round(pdf[center] / peak * width)) if pdf[center] else ""
+        lines.append(f"{center:+6.1f} | {bar} {pdf[center]:.3f}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: Dict[str, float], unit: str = "", width: int = 48, log: bool = False
+) -> str:
+    """Labelled horizontal bars for cross-protocol comparisons."""
+    if not rows:
+        return "[empty]"
+    import math
+
+    def scale(value: float) -> float:
+        if not log:
+            return value
+        return math.log10(max(value, 1e-12))
+
+    scaled = {k: scale(v) for k, v in rows.items()}
+    lo = min(scaled.values())
+    hi = max(scaled.values())
+    span = (hi - lo) or 1.0
+    lines = []
+    for name in sorted(rows, key=lambda k: rows[k]):
+        frac = (scaled[name] - lo) / span
+        bar = "#" * max(1, round(frac * width))
+        lines.append(f"{name:>12s} | {bar} {rows[name]:.3g} {unit}")
+    return "\n".join(lines)

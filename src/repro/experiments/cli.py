@@ -1,0 +1,258 @@
+"""Command-line driver: regenerate any table or figure of the paper.
+
+Usage::
+
+    dtp-repro fig6a            # DTP under MTU load
+    dtp-repro fig6f --quick    # PTP heavy load, shortened run
+    dtp-repro all --quick      # everything
+
+Each command prints the experiment's series statistics and summary — the
+same rows/series the paper reports (shape, not absolute testbed numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..sim import units
+from . import ablations, bounds, convergence, extensions, fig6_dtp, fig6_ptp
+from . import fig7_daemon, hybrid_sync, stability, sweeps, table1, table2
+from .asciiplot import render_series
+from .fig6_dtp import Fig6DtpConfig
+from .fig6_ptp import Fig6PtpConfig
+from .fig7_daemon import Fig7Config
+
+#: Set by main() from --plot; series-producing commands render ASCII
+#: scatter plots of the same shapes the paper's figures show.
+PLOT = False
+
+#: Set by main() from --csv DIR; series are also dumped as CSV for
+#: external plotting tools.
+CSV_DIR = None
+
+
+def _maybe_plot(result) -> List[str]:
+    outputs = []
+    if CSV_DIR is not None:
+        outputs.extend(export_csv(result, CSV_DIR))
+    if PLOT:
+        outputs.extend(
+            render_series(series) for series in result.series if series.values
+        )
+    return outputs
+
+
+def export_csv(result, directory: str) -> List[str]:
+    """Write each series of ``result`` to ``directory`` as CSV.
+
+    Returns one status line per file written.
+    """
+    import csv
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for series in result.series:
+        if not series.values:
+            continue
+        safe_label = series.label.replace("/", "_")
+        path = os.path.join(directory, f"{result.name}.{safe_label}.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time_fs", series.label])
+            for t, value in zip(series.times_fs, series.values):
+                writer.writerow([t, value])
+        written.append(f"wrote {path} ({len(series)} rows)")
+    return written
+
+
+def _run_fig6a(quick: bool) -> List[str]:
+    config = Fig6DtpConfig(
+        frame_name="mtu", duration_fs=(6 if quick else 20) * units.MS
+    )
+    result = fig6_dtp.run_fig6_dtp(config)
+    return [result.render()] + _maybe_plot(result)
+
+
+def _run_fig6b(quick: bool) -> List[str]:
+    config = Fig6DtpConfig(
+        frame_name="jumbo", duration_fs=(6 if quick else 20) * units.MS
+    )
+    result = fig6_dtp.run_fig6_dtp(config)
+    return [result.render()] + _maybe_plot(result)
+
+
+def _run_fig6c(quick: bool) -> List[str]:
+    config = Fig6DtpConfig(
+        frame_name="jumbo", duration_fs=(10 if quick else 40) * units.MS
+    )
+    result, pdfs = fig6_dtp.run_fig6c(config)
+    lines = [result.render(), "--- offset PDFs (ticks -> probability) ---"]
+    for label, pdf in sorted(pdfs.items()):
+        cells = ", ".join(f"{int(k):+d}: {v:.3f}" for k, v in pdf.items())
+        lines.append(f"  {label:10s} {cells}")
+    return lines
+
+
+def _run_fig6_ptp(load: str, quick: bool) -> List[str]:
+    config = Fig6PtpConfig(
+        load=load, duration_fs=(180 if quick else 600) * units.SEC
+    )
+    result = fig6_ptp.run_fig6_ptp(config)
+    return [result.render()] + _maybe_plot(result)
+
+
+def _run_fig7(quick: bool) -> List[str]:
+    config = Fig7Config(duration_fs=(100 if quick else 400) * units.MS)
+    raw, smoothed = fig7_daemon.run_fig7(config)
+    return [raw.render(), smoothed.render()] + _maybe_plot(raw) + _maybe_plot(smoothed)
+
+
+def _run_table1(quick: bool) -> List[str]:
+    result = table1.run_table1(
+        packet_protocol_duration_fs=(60 if quick else 180) * units.SEC,
+        dtp_duration_fs=(2 if quick else 4) * units.MS,
+    )
+    lines = [result.render(), "--- Table 1 ---"]
+    lines.extend(result.summary["rows"])
+    return lines
+
+
+def _run_table2(quick: bool) -> List[str]:
+    result = table2.run_table2(duration_fs=(1 if quick else 2) * units.MS)
+    lines = [result.render(), "--- Table 2 ---"]
+    lines.extend(result.summary["rows"])
+    return lines
+
+
+def _run_bounds(quick: bool) -> List[str]:
+    hop_config = bounds.BoundsConfig(duration_fs=(3 if quick else 6) * units.MS)
+    outputs = [bounds.run_hop_scaling(hop_config).render()]
+    outputs.append(
+        bounds.run_fat_tree(duration_fs=(2 if quick else 4) * units.MS).render()
+    )
+    return outputs
+
+
+def _run_convergence(quick: bool) -> List[str]:
+    outputs = [convergence.run_dtp_convergence().render()]
+    outputs.append(
+        convergence.run_ptp_convergence(
+            duration_fs=(300 if quick else 900) * units.SEC
+        ).render()
+    )
+    return outputs
+
+
+def _run_ablations(quick: bool) -> List[str]:
+    return [result.render() for result in ablations.run_all_ablations()]
+
+
+def _run_extensions(quick: bool) -> List[str]:
+    outputs = [extensions.run_synce_ablation().render()]
+    outputs.append(extensions.run_spanning_tree_comparison().render())
+    outputs.append(
+        extensions.run_boundary_cascade(
+            depths=[1, 2, 3] if quick else [1, 2, 3, 4],
+            duration_fs=(200 if quick else 400) * units.SEC,
+        ).render()
+    )
+    return outputs
+
+
+def _run_stability(quick: bool) -> List[str]:
+    result = stability.run_stability_comparison(
+        dtp_duration_fs=(4 if quick else 8) * units.MS,
+        ptp_duration_fs=(150 if quick else 400) * units.SEC,
+    )
+    return [result.render()]
+
+
+def _run_hybrid(quick: bool) -> List[str]:
+    result = hybrid_sync.run_hybrid_comparison(
+        ptp_duration_fs=(120 if quick else 200) * units.SEC,
+        hybrid_duration_fs=(60 if quick else 100) * units.MS,
+    )
+    return [result.render()]
+
+
+def _run_report(quick: bool) -> List[str]:
+    from .report import generate_report
+
+    return [generate_report(quick=quick)]
+
+
+def _run_sweeps(quick: bool) -> List[str]:
+    outputs = [
+        sweeps.sweep_beacon_vs_skew(duration_fs=(3 if quick else 4) * units.MS).render()
+    ]
+    outputs.append(
+        sweeps.sweep_cable_length(duration_fs=(2 if quick else 3) * units.MS).render()
+    )
+    outputs.append(sweeps.sweep_ber(duration_fs=(3 if quick else 4) * units.MS).render())
+    return outputs
+
+
+COMMANDS = {
+    "fig6a": _run_fig6a,
+    "fig6b": _run_fig6b,
+    "fig6c": _run_fig6c,
+    "fig6d": lambda quick: _run_fig6_ptp("idle", quick),
+    "fig6e": lambda quick: _run_fig6_ptp("medium", quick),
+    "fig6f": lambda quick: _run_fig6_ptp("heavy", quick),
+    "fig7": _run_fig7,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "bounds": _run_bounds,
+    "convergence": _run_convergence,
+    "ablations": _run_ablations,
+    "extensions": _run_extensions,
+    "stability": _run_stability,
+    "hybrid": _run_hybrid,
+    "sweeps": _run_sweeps,
+    "report": _run_report,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dtp-repro",
+        description="Regenerate the tables and figures of the DTP paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shorter runs for smoke testing"
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="render ASCII scatter plots of the measured series",
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also dump measured series as CSV files into DIR",
+    )
+    args = parser.parse_args(argv)
+    global PLOT, CSV_DIR
+    PLOT = args.plot
+    CSV_DIR = args.csv
+
+    if args.experiment == "all":
+        # 'report' re-runs the core set itself; skip it under 'all'.
+        names = sorted(name for name in COMMANDS if name != "report")
+    else:
+        names = [args.experiment]
+    for name in names:
+        for block in COMMANDS[name](args.quick):
+            print(block)
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Figure 7: precision of the DTP software daemon.
+
+7a: raw ``offset_sw`` — the gap between the daemon's interpolated counter
+and the NIC's true counter, dominated by PCIe read jitter with occasional
+spikes; 7b: the same series after a moving average with window 10.
+
+The paper's numbers: raw usually within 16 ticks (~102.4 ns), smoothed
+usually within 4 ticks (~25.6 ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..clocks.oscillator import ConstantSkew
+from ..clocks.tsc import TscCounter
+from ..dtp.daemon import DtpDaemon, moving_average
+from ..dtp.network import DtpNetwork
+from ..dtp.port import DtpPortConfig
+from ..network.topology import chain
+from ..sim import units
+from ..sim.engine import Simulator
+from ..sim.randomness import RandomStreams
+from .harness import ExperimentResult, TimeSeries
+
+
+@dataclass
+class Fig7Config:
+    duration_fs: int = 400 * units.MS
+    warmup_fs: int = 5 * units.MS
+    #: Daemon PCIe read cadence; each read provides a fresh anchor.
+    daemon_interval_fs: int = units.MS
+    #: offset_sw sampling cadence (the paper's logger ran at 2 Hz for
+    #: days; we sample once per daemon read so anchors are independent).
+    sample_interval_fs: int = 1 * units.MS
+    smoothing_window: int = 10
+    tsc_skew_ppm: float = -7.0
+    seed: int = 3
+    #: Longer beacon interval only to reduce event count; beacon cadence
+    #: does not influence daemon precision (the daemon reads one NIC).
+    beacon_interval_ticks: int = 1200
+
+
+def run_fig7(config: Fig7Config = None) -> Tuple[ExperimentResult, ExperimentResult]:
+    """Return (raw result, smoothed result) for the daemon experiment."""
+    config = config or Fig7Config()
+    sim = Simulator()
+    streams = RandomStreams(config.seed)
+    net = DtpNetwork(
+        sim,
+        chain(2),
+        streams,
+        config=DtpPortConfig(beacon_interval_ticks=config.beacon_interval_ticks),
+    )
+    net.start()
+    sim.run_until(config.warmup_fs)
+
+    device = net.devices["n0"]
+    tsc = TscCounter(skew=ConstantSkew(config.tsc_skew_ppm))
+    daemon = DtpDaemon(
+        sim,
+        device,
+        tsc,
+        streams.stream("daemon"),
+        sample_interval_fs=config.daemon_interval_fs,
+    )
+    daemon.start()
+    sim.run_until(config.warmup_fs + 5 * config.daemon_interval_fs)
+
+    raw_series = TimeSeries(label="offset_sw_raw_ticks")
+
+    def sample() -> None:
+        now = sim.now
+        estimate = daemon.get_dtp_counter(now)
+        truth = device.global_counter(now)
+        raw_series.append(now, truth - estimate)
+        if now < config.duration_fs:
+            sim.schedule(config.sample_interval_fs, sample)
+
+    sim.schedule(0, sample)
+    sim.run_until(config.duration_fs)
+
+    smoothed = TimeSeries(label=f"offset_sw_ma{config.smoothing_window}_ticks")
+    smoothed.times_fs = list(raw_series.times_fs)
+    smoothed.values = moving_average(
+        [int(v) for v in raw_series.values], config.smoothing_window
+    )
+
+    raw_result = ExperimentResult(
+        name="fig7a-daemon-raw",
+        params={"samples": len(raw_series), "seed": config.seed},
+        series=[raw_series],
+        summary={
+            "p50_abs_ticks": raw_series.percentile_abs(0.50),
+            "p95_abs_ticks": raw_series.percentile_abs(0.95),
+            "max_abs_ticks": raw_series.max_abs(),
+            "paper_typical_ticks": 16,
+        },
+    )
+    smoothed_result = ExperimentResult(
+        name="fig7b-daemon-smoothed",
+        params={"window": config.smoothing_window, "seed": config.seed},
+        series=[smoothed],
+        summary={
+            "p50_abs_ticks": smoothed.percentile_abs(0.50),
+            "p95_abs_ticks": smoothed.percentile_abs(0.95),
+            "max_abs_ticks": smoothed.max_abs(),
+            "paper_typical_ticks": 4,
+        },
+    )
+    return raw_result, smoothed_result

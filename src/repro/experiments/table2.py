@@ -1,0 +1,90 @@
+"""Table 2: PHY parameters across 1G / 10G / 40G / 100G.
+
+Two parts:
+
+* the static table itself (encoding, data width, frequency, period and the
+  per-tick counter increment ``delta`` at the common 0.32 ns granularity);
+* a dynamic verification that DTP actually synchronizes at every speed
+  when counters increment by ``delta``: a two-node network per speed, with
+  the per-link bound now ``4 * delta`` counter units (still 4 ticks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dtp.network import DtpNetwork
+from ..dtp.port import DtpPortConfig
+from ..network.topology import star
+from ..phy.specs import COMMON_COUNTER_UNIT_FS, SPECS, PhySpec
+from ..sim import units
+from ..sim.engine import Simulator
+from ..sim.randomness import RandomStreams
+from .harness import ExperimentResult
+
+
+def render_spec_row(spec: PhySpec) -> str:
+    return (
+        f"{spec.name:5s} | {spec.encoding:7s} | {spec.data_width_bits:3d} bit "
+        f"| {spec.frequency_hz / 1e6:9.2f} MHz | {spec.period_ns:5.2f} ns "
+        f"| delta={spec.counter_increment:3d}"
+    )
+
+
+def verify_speed(
+    spec: PhySpec,
+    duration_fs: int = 2 * units.MS,
+    seed: int = 9,
+) -> Dict[str, object]:
+    """Run two DTP nodes at one PHY speed; check the 4-tick bound holds."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    net = DtpNetwork(
+        sim,
+        star(2),
+        streams,
+        spec=spec,
+        counter_increment=spec.counter_increment,
+        config=DtpPortConfig(beacon_interval_ticks=200),
+    )
+    net.start()
+    sim.run_until(duration_fs // 4)
+    worst_units = 0
+    t = sim.now
+    while t < duration_fs:
+        t += 20 * units.US
+        sim.run_until(t)
+        worst_units = max(worst_units, net.max_abs_offset())
+    bound_units = 4 * spec.counter_increment
+    # Counter units are COMMON_COUNTER_UNIT_FS (0.32 ns) each.
+    return {
+        "speed": spec.name,
+        "worst_offset_counter_units": worst_units,
+        "worst_offset_ns": worst_units * COMMON_COUNTER_UNIT_FS / units.NS,
+        "bound_counter_units": bound_units,
+        "bound_ns": bound_units * COMMON_COUNTER_UNIT_FS / units.NS,
+        "within_bound": worst_units <= bound_units,
+    }
+
+
+def run_table2(duration_fs: int = 2 * units.MS, seed: int = 9) -> ExperimentResult:
+    result = ExperimentResult(name="table2-phy-speeds")
+    rows: List[str] = [render_spec_row(spec) for spec in SPECS.values()]
+    result.summary["rows"] = rows
+    # Static invariants of the table.
+    result.summary["increments_common_unit"] = all(
+        abs(spec.period_fs - spec.counter_increment * COMMON_COUNTER_UNIT_FS) == 0
+        for spec in SPECS.values()
+    )
+    verdicts = []
+    for spec in SPECS.values():
+        verdict = verify_speed(spec, duration_fs=duration_fs, seed=seed)
+        verdicts.append(verdict)
+        result.summary[f"verify_{spec.name}"] = (
+            f"worst={verdict['worst_offset_ns']:.2f} ns "
+            f"bound={verdict['bound_ns']:.2f} ns ok={verdict['within_bound']}"
+        )
+    result.summary["all_speeds_within_bound"] = all(
+        verdict["within_bound"] for verdict in verdicts
+    )
+    return result

@@ -1,0 +1,5 @@
+"""GPS receiver model: the nanosecond-but-unscalable baseline."""
+
+from .receiver import GpsReceiver, pairwise_precision_fs
+
+__all__ = ["GpsReceiver", "pairwise_precision_fs"]

@@ -1,0 +1,52 @@
+"""GPS time receiver model (paper Section 2.4.3).
+
+GPS gives each equipped server an independent reference with ~100 ns
+practical precision [Lewandowski et al.], at the cost of a receiver, roof
+antenna and cabling per server — which is why the paper dismisses it as a
+datacenter-wide solution (Table 1) but uses it as the external-time anchor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..sim import units
+
+
+@dataclass
+class GpsReceiver:
+    """A disciplined GPS timing receiver attached to one server."""
+
+    rng: random.Random
+    #: Standard deviation of the per-read error (paper: ~100 ns practical
+    #: precision; a good timing receiver sits around 30-50 ns 1-sigma).
+    sigma_fs: int = 40 * units.NS
+    #: Fixed installation bias (antenna cable electrical length, etc.).
+    bias_fs: int = 0
+    #: Worst-case clipping so a single read is never absurd.
+    max_error_fs: int = 150 * units.NS
+
+    def read_fs(self, t_fs: int) -> int:
+        """UTC estimate at true time ``t_fs``."""
+        error = round(self.rng.gauss(0.0, self.sigma_fs))
+        error = max(-self.max_error_fs, min(self.max_error_fs, error))
+        return t_fs + self.bias_fs + error
+
+    def error_fs(self, t_fs: int) -> int:
+        """The signed error of one read (for precision statistics)."""
+        return self.read_fs(t_fs) - t_fs
+
+
+def pairwise_precision_fs(
+    a: GpsReceiver, b: GpsReceiver, t_fs: int, reads: int = 100
+) -> int:
+    """Worst observed |a - b| clock difference over ``reads`` simultaneous reads.
+
+    Two GPS-disciplined servers differ by the two receivers' independent
+    errors; this is the "ns scale but not better" Table 1 row.
+    """
+    worst = 0
+    for _ in range(reads):
+        worst = max(worst, abs(a.read_fs(t_fs) - b.read_fs(t_fs)))
+    return worst

@@ -1,0 +1,150 @@
+"""Clock-stability metrics: Allan deviation, MTIE, TDEV.
+
+The paper reports raw offset ranges; the synchronization community also
+characterizes clocks with these standard statistics (ITU-T G.810):
+
+* **Allan deviation** (ADEV) — frequency stability over averaging time tau;
+* **MTIE** — Maximum Time Interval Error: the largest peak-to-peak time
+  error within any observation window of a given length (the metric SyncE
+  and PTP telecom profiles are specified against);
+* **TDEV** — time deviation, the tau-scaled spectral cousin of ADEV.
+
+All functions take a uniformly sampled time-error series ``x`` (seconds or
+any consistent unit) with sampling interval ``tau0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+class MetricsError(ValueError):
+    """Raised on series too short for the requested statistic."""
+
+
+def _check(x: Sequence[float], minimum: int) -> None:
+    if len(x) < minimum:
+        raise MetricsError(f"need at least {minimum} samples, got {len(x)}")
+
+
+def allan_deviation(x: Sequence[float], tau0: float, m: int = 1) -> float:
+    """Overlapping Allan deviation at averaging time ``m * tau0``.
+
+    ``sigma_y^2(tau) = 1 / (2 tau^2 (N - 2m)) * sum (x[i+2m] - 2x[i+m] + x[i])^2``
+    """
+    _check(x, 2 * m + 1)
+    if m < 1 or tau0 <= 0:
+        raise MetricsError("m must be >= 1 and tau0 positive")
+    tau = m * tau0
+    n = len(x)
+    total = 0.0
+    count = 0
+    for i in range(n - 2 * m):
+        second_diff = x[i + 2 * m] - 2 * x[i + m] + x[i]
+        total += second_diff * second_diff
+        count += 1
+    if count == 0:
+        raise MetricsError("series too short for this m")
+    return math.sqrt(total / (2.0 * tau * tau * count))
+
+
+def allan_deviation_curve(
+    x: Sequence[float], tau0: float, octaves: int = 8
+) -> Dict[float, float]:
+    """ADEV at geometrically spaced taus (as many octaves as data allows)."""
+    curve: Dict[float, float] = {}
+    m = 1
+    for _ in range(octaves):
+        if len(x) < 2 * m + 1:
+            break
+        curve[m * tau0] = allan_deviation(x, tau0, m)
+        m *= 2
+    if not curve:
+        raise MetricsError("series too short for any tau")
+    return curve
+
+
+def mtie(x: Sequence[float], window_samples: int) -> float:
+    """Maximum Time Interval Error over windows of ``window_samples``.
+
+    Sliding-window max-min, computed with monotonic deques in O(n).
+    """
+    _check(x, 2)
+    if window_samples < 2:
+        raise MetricsError("window must span at least 2 samples")
+    window = min(window_samples, len(x))
+    from collections import deque
+
+    max_deque: deque = deque()  # indices, values decreasing
+    min_deque: deque = deque()  # indices, values increasing
+    worst = 0.0
+    for i, value in enumerate(x):
+        while max_deque and x[max_deque[-1]] <= value:
+            max_deque.pop()
+        max_deque.append(i)
+        while min_deque and x[min_deque[-1]] >= value:
+            min_deque.pop()
+        min_deque.append(i)
+        start = i - window + 1
+        if max_deque[0] < start:
+            max_deque.popleft()
+        if min_deque[0] < start:
+            min_deque.popleft()
+        if i >= window - 1:
+            worst = max(worst, x[max_deque[0]] - x[min_deque[0]])
+    return worst
+
+
+def mtie_curve(x: Sequence[float], tau0: float, octaves: int = 8) -> Dict[float, float]:
+    """MTIE at geometrically spaced window lengths."""
+    curve: Dict[float, float] = {}
+    window = 2
+    for _ in range(octaves):
+        if window > len(x):
+            break
+        curve[window * tau0] = mtie(x, window)
+        window *= 2
+    if not curve:
+        raise MetricsError("series too short for any window")
+    return curve
+
+
+def time_deviation(x: Sequence[float], tau0: float, m: int = 1) -> float:
+    """TDEV(tau) = tau * ADEV_modified(tau) / sqrt(3).
+
+    Uses the modified Allan variance (phase-averaged second differences).
+    """
+    _check(x, 3 * m + 1)
+    n = len(x)
+    tau = m * tau0
+    total = 0.0
+    count = 0
+    for j in range(n - 3 * m + 1):
+        inner = 0.0
+        for i in range(j, j + m):
+            inner += x[i + 2 * m] - 2 * x[i + m] + x[i]
+        total += (inner / m) ** 2
+        count += 1
+    if count == 0:
+        raise MetricsError("series too short for this m")
+    mod_avar = total / (2.0 * tau * tau * count)
+    return tau * math.sqrt(mod_avar / 3.0)
+
+
+def summarize_stability(
+    offsets_fs: Sequence[float], interval_fs: int
+) -> Dict[str, float]:
+    """One-call stability summary of an offset series (fs units in, out).
+
+    Returns peak-to-peak, ADEV at tau0, and MTIE over ~1/8 of the record.
+    """
+    _check(offsets_fs, 5)
+    seconds = [value * 1e-15 for value in offsets_fs]
+    tau0 = interval_fs * 1e-15
+    window = max(2, len(offsets_fs) // 8)
+    return {
+        "peak_to_peak_fs": max(offsets_fs) - min(offsets_fs),
+        "adev_tau0": allan_deviation(seconds, tau0),
+        "mtie_fs": mtie(list(offsets_fs), window),
+    }

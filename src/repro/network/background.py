@@ -1,0 +1,119 @@
+"""Background (iperf-like) traffic for the packet network.
+
+The paper loads its PTP testbed with iperf UDP flows: "Each server
+occasionally generated MTU-sized UDP packets destined for other servers so
+that PTP messages could be dropped or arbitrarily delayed" (Section 6.1),
+with medium load = five nodes at 4 Gbps and heavy load = all links at
+9 Gbps.  These generators reproduce that load shape.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from ..sim import units
+from ..sim.engine import Simulator
+from .packet import DEFAULT_RATE_BPS, PacketNetwork
+
+MTU_UDP_BYTES = 1470  # payload of an MTU-sized UDP datagram + headers ~ 1512 B wire
+MTU_PACKET_BYTES = 1512
+
+
+class UdpFlow:
+    """A unidirectional UDP flow at a target average rate.
+
+    Packet departures are Poisson (exponential gaps) unless ``cbr=True``,
+    in which case the flow is constant-bit-rate, which produces the worst
+    sustained queue occupancy.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: PacketNetwork,
+        src: str,
+        dst: str,
+        rate_bps: float,
+        rng: random.Random,
+        packet_bytes: int = MTU_PACKET_BYTES,
+        cbr: bool = False,
+        start_fs: int = 0,
+        stop_fs: Optional[int] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.rng = rng
+        self.packet_bytes = packet_bytes
+        self.cbr = cbr
+        self.stop_fs = stop_fs
+        self.packets_sent = 0
+        self._mean_gap_fs = packet_bytes * 8 * units.SEC / rate_bps
+        self._stopped = False
+        sim.schedule_at(max(start_fs, sim.now), self._emit)
+
+    def _next_gap_fs(self) -> int:
+        if self.cbr:
+            return round(self._mean_gap_fs)
+        u = self.rng.random()
+        return max(1, round(-self._mean_gap_fs * math.log(max(u, 1e-300))))
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        if self.stop_fs is not None and self.sim.now >= self.stop_fs:
+            return
+        self.network.send(self.src, self.dst, self.packet_bytes, "udp")
+        self.packets_sent += 1
+        self.sim.schedule(self._next_gap_fs(), self._emit)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+
+def medium_load(
+    sim: Simulator,
+    network: PacketNetwork,
+    hosts: List[str],
+    rng: random.Random,
+    per_host_bps: float = 4e9,
+) -> List[UdpFlow]:
+    """Paper's medium load: five hosts send/receive at 4 Gbps."""
+    active = hosts[:5] if len(hosts) > 5 else list(hosts)
+    flows = []
+    for i, src in enumerate(active):
+        dst = active[(i + 1) % len(active)]
+        if dst == src:
+            continue
+        flows.append(
+            UdpFlow(sim, network, src, dst, per_host_bps, rng)
+        )
+    return flows
+
+
+def heavy_load(
+    sim: Simulator,
+    network: PacketNetwork,
+    hosts: List[str],
+    rng: random.Random,
+    per_host_bps: float = 9e9,
+    exclude: Optional[List[str]] = None,
+) -> List[UdpFlow]:
+    """Paper's heavy load: all links (except excluded hosts) near saturation."""
+    excluded = set(exclude or [])
+    active = [h for h in hosts if h not in excluded]
+    flows = []
+    for i, src in enumerate(active):
+        dst = active[(i + 1) % len(active)]
+        if dst == src:
+            continue
+        flows.append(
+            UdpFlow(sim, network, src, dst, per_host_bps, rng, cbr=True)
+        )
+    return flows

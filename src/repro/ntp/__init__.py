@@ -1,0 +1,21 @@
+"""NTP baseline: software-timestamped four-timestamp synchronization."""
+
+from .protocol import (
+    KIND_NTP_REQUEST,
+    KIND_NTP_RESPONSE,
+    NTP_PACKET_BYTES,
+    NtpClient,
+    NtpSample,
+    NtpServer,
+    StackJitterModel,
+)
+
+__all__ = [
+    "KIND_NTP_REQUEST",
+    "KIND_NTP_RESPONSE",
+    "NTP_PACKET_BYTES",
+    "NtpClient",
+    "NtpSample",
+    "NtpServer",
+    "StackJitterModel",
+]

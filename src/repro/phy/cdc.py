@@ -1,0 +1,52 @@
+"""Clock-domain-crossing (CDC) synchronization FIFO model.
+
+The RX path of a PHY runs on the clock recovered from the incoming signal;
+the TX path and the DTP control logic run on the local oscillator.  Passing
+a received message between the two domains goes through a synchronization
+FIFO whose flip-flop chain adds **zero or one extra cycle at random**
+(paper Sections 2.5 and 3.3) — this is the *only* nondeterministic delay in
+the entire DTP message path and the reason the per-link offset bound is
+4 ticks rather than 2.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..clocks.oscillator import Oscillator
+
+
+class SyncFifo:
+    """Models sampling an asynchronous arrival into a local clock domain."""
+
+    def __init__(
+        self,
+        local_oscillator: Oscillator,
+        rng: random.Random,
+        max_extra_cycles: int = 1,
+        enabled: bool = True,
+    ) -> None:
+        self.local_oscillator = local_oscillator
+        self.rng = rng
+        self.max_extra_cycles = max_extra_cycles
+        #: Ablation hook: with the FIFO "disabled" the arrival is sampled at
+        #: the next local edge with no metastability guard cycle.
+        self.enabled = enabled
+        self.crossings = 0
+
+    def delivery_time(self, arrival_fs: int) -> int:
+        """Time at which an arrival becomes visible in the local domain.
+
+        The arrival is first quantized to the next local clock edge (a
+        signal cannot be sampled mid-cycle), then delayed by 0..max_extra
+        random cycles of metastability settling.
+        """
+        self.crossings += 1
+        t = self.local_oscillator.next_edge_after(arrival_fs)
+        extra = self.rng.randint(0, self.max_extra_cycles) if self.enabled else 0
+        for _ in range(extra):
+            t = self.local_oscillator.next_edge_after(t)
+        return t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SyncFifo(enabled={self.enabled}, crossings={self.crossings})"

@@ -1,0 +1,123 @@
+"""DTP over 1 GbE (paper Section 7): messages in 8b/10b ordered sets.
+
+At 1 GbE the interframe fill is a stream of two-code-group **ordered
+sets**: /I1/ = K28.5 D5.6 and /I2/ = K28.5 D16.2.  There is no 56-bit idle
+block to hide a message in, so DTP-1G segments each 56-bit message across
+**four consecutive DTP ordered sets**, each "K28.1 Dx" carrying one
+14-bit fragment... except a data octet carries only 8 bits — so a fragment
+is two octets: ``K28.1  <seq+type octet>  <payload octet>`` would need
+three groups.  We instead use a 2-octet set like the standard's:
+
+    /DTP_n/ = K28.1 , payload octet n
+
+Eight consecutive /DTP/ sets carry the 56-bit message MSB-first.  K28.1
+contains the comma pattern, so alignment is preserved, and the sets are
+invisible above the PCS exactly like the /E/-block trick at 10 GbE: the RX
+side replaces them with /I2/ before the MAC sees them.
+
+This module does the segmentation/reassembly and a wire-level roundtrip
+through the real 8b/10b codec.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from .encoding_8b10b import (
+    Decoder8b10b,
+    Encoder8b10b,
+    Encoding8b10bError,
+    K28_1,
+    K28_5,
+)
+
+#: Octets of the standard idle ordered sets.
+I1_SET = (K28_5, 0xC5)  # K28.5 D5.6
+I2_SET = (K28_5, 0x50)  # K28.5 D16.2
+
+#: Number of /DTP/ ordered sets per 56-bit message.
+SETS_PER_MESSAGE = 7
+
+MESSAGE_BITS = 56
+
+
+class Dtp1GError(ValueError):
+    """Raised on malformed 1G DTP set sequences."""
+
+
+def segment_message(bits56: int) -> List[Tuple[int, int]]:
+    """Split a 56-bit DTP message into seven K28.1-tagged ordered sets."""
+    if not 0 <= bits56 < (1 << MESSAGE_BITS):
+        raise Dtp1GError("message must fit in 56 bits")
+    sets = []
+    for index in range(SETS_PER_MESSAGE):
+        shift = (SETS_PER_MESSAGE - 1 - index) * 8
+        sets.append((K28_1, (bits56 >> shift) & 0xFF))
+    return sets
+
+
+def reassemble_message(sets: Iterable[Tuple[int, int]]) -> int:
+    """Rebuild the 56-bit message from seven ordered sets."""
+    value = 0
+    count = 0
+    for control, payload in sets:
+        if control != K28_1:
+            raise Dtp1GError(f"not a DTP ordered set (leads with {control:#04x})")
+        value = (value << 8) | (payload & 0xFF)
+        count += 1
+    if count != SETS_PER_MESSAGE:
+        raise Dtp1GError(f"expected {SETS_PER_MESSAGE} sets, got {count}")
+    return value
+
+
+def encode_interframe_gap(
+    message: Optional[int], idle_sets: int, encoder: Encoder8b10b
+) -> List[int]:
+    """Encode an interframe gap: optional DTP message, then /I2/ fill.
+
+    Returns the 10-bit code-groups on the wire.
+    """
+    groups: List[int] = []
+    octet_stream: List[Tuple[int, bool]] = []
+    if message is not None:
+        for control, payload in segment_message(message):
+            octet_stream.append((control, True))
+            octet_stream.append((payload, False))
+    for _ in range(idle_sets):
+        octet_stream.append((I2_SET[0], True))
+        octet_stream.append((I2_SET[1], False))
+    for octet, is_control in octet_stream:
+        groups.append(encoder.encode(octet, control=is_control))
+    return groups
+
+
+def decode_interframe_gap(
+    groups: List[int], decoder: Decoder8b10b
+) -> Tuple[Optional[int], int]:
+    """Decode a gap's code-groups: (DTP message or None, idle sets seen).
+
+    As at 10 GbE, the DTP sublayer strips its sets: callers get the
+    message and the idle count, never the raw K28.1 sets.
+    """
+    octets: List[Tuple[int, bool]] = []
+    for group in groups:
+        octet, is_control = decoder.decode(group)
+        octets.append((octet, is_control))
+    if len(octets) % 2 != 0:
+        raise Dtp1GError("ordered sets are two code-groups each")
+    pairs = [
+        (octets[i], octets[i + 1]) for i in range(0, len(octets), 2)
+    ]
+    dtp_sets: List[Tuple[int, int]] = []
+    idle_sets = 0
+    for (lead, lead_ctrl), (payload, payload_ctrl) in pairs:
+        if not lead_ctrl or payload_ctrl:
+            raise Dtp1GError("ordered set must be K-code then data octet")
+        if lead == K28_1:
+            dtp_sets.append((lead, payload))
+        elif lead == K28_5:
+            idle_sets += 1
+        else:
+            raise Dtp1GError(f"unexpected ordered-set lead {lead:#04x}")
+    message = reassemble_message(dtp_sets) if dtp_sets else None
+    return message, idle_sets

@@ -1,0 +1,173 @@
+"""Best Master Clock algorithm (IEEE 1588 dataset comparison, simplified).
+
+PTP nodes announce their clock quality; everyone runs the same comparison
+and the best clock becomes grandmaster, the rest slaves.  If the master's
+Announces stop (it died), the election re-runs and the next-best node
+takes over — the failover the paper's Section 2.4.2 alludes to ("PTP picks
+the most accurate clock in a network to be the grandmaster via the best
+master clock algorithm").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..clocks.clock import AdjustableFrequencyClock
+from ..network.packet import Host, Packet, PacketNetwork
+from ..sim import units
+from ..sim.engine import Simulator
+from .master import PtpMaster
+from .slave import PtpSlave
+
+KIND_ANNOUNCE = "ptp_announce"
+ANNOUNCE_BYTES = 90
+
+
+@dataclass(frozen=True, order=True)
+class ClockQuality:
+    """1588 dataset-comparison fields; lower tuples win."""
+
+    priority1: int = 128
+    clock_class: int = 248
+    accuracy: int = 0xFE
+    variance: int = 0xFFFF
+    priority2: int = 128
+    identity: str = ""
+
+    def as_tuple(self) -> Tuple:
+        return (
+            self.priority1,
+            self.clock_class,
+            self.accuracy,
+            self.variance,
+            self.priority2,
+            self.identity,
+        )
+
+
+class OrdinaryClock:
+    """A PTP node that can be elected master or fall back to slave."""
+
+    ROLE_LISTENING = "listening"
+    ROLE_MASTER = "master"
+    ROLE_SLAVE = "slave"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: PacketNetwork,
+        host_name: str,
+        quality: ClockQuality,
+        peers: List[str],
+        clock: AdjustableFrequencyClock,
+        rng: random.Random,
+        sync_interval_fs: int = units.SEC,
+        announce_interval_fs: int = units.SEC,
+        announce_timeout_intervals: int = 3,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.host: Host = network.host(host_name)
+        self.quality = quality
+        self.peers = [p for p in peers if p != host_name]
+        self.clock = clock
+        self.sync_interval_fs = sync_interval_fs
+        self.announce_interval_fs = announce_interval_fs
+        self.announce_timeout_fs = announce_timeout_intervals * announce_interval_fs
+        self.role = self.ROLE_LISTENING
+        self.current_master: Optional[str] = None
+        self.elections = 0
+        self._running = False
+        #: Foreign master dataset: name -> (quality tuple, last heard fs).
+        self._foreign: Dict[str, Tuple[Tuple, int]] = {}
+        self.master_role = PtpMaster(
+            sim, network, host_name, clock,
+            slaves=self.peers, sync_interval_fs=sync_interval_fs,
+        )
+        self.slave_role = PtpSlave(
+            sim, network, host_name, host_name, clock, rng=rng,
+            sync_interval_fs=sync_interval_fs,
+        )
+        self.slave_role.enabled = False
+        self.host.register_handler(KIND_ANNOUNCE, self._on_announce)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(0, self._announce_tick)
+        # First election after one timeout so everyone's Announce lands.
+        self.sim.schedule(self.announce_timeout_fs, self._evaluate)
+
+    def stop(self) -> None:
+        """Simulate this node dying (for failover tests)."""
+        self._running = False
+        self.master_role.stop()
+        self.slave_role.enabled = False
+
+    # ------------------------------------------------------------------
+    # Announce plane
+    # ------------------------------------------------------------------
+    def _announce_tick(self) -> None:
+        if not self._running:
+            return
+        # Everyone announces while listening; once roles settle, only the
+        # master keeps announcing (1588's qualification behaviour).
+        if self.role in (self.ROLE_LISTENING, self.ROLE_MASTER):
+            for peer in self.peers:
+                self.network.send(
+                    self.host.name,
+                    peer,
+                    ANNOUNCE_BYTES,
+                    KIND_ANNOUNCE,
+                    {"quality": self.quality.as_tuple()},
+                )
+        self.sim.schedule(self.announce_interval_fs, self._announce_tick)
+
+    def _on_announce(self, packet: Packet, first_fs: int, last_fs: int) -> None:
+        if not self._running:
+            return
+        self._foreign[packet.src] = (tuple(packet.payload["quality"]), self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Election
+    # ------------------------------------------------------------------
+    def _evaluate(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        alive = {
+            name: quality
+            for name, (quality, seen) in self._foreign.items()
+            if now - seen <= self.announce_timeout_fs
+        }
+        candidates = dict(alive)
+        candidates[self.host.name] = self.quality.as_tuple()
+        best = min(candidates, key=lambda name: candidates[name])
+        if best == self.host.name:
+            self._become_master()
+        else:
+            self._become_slave(best)
+        self.sim.schedule(self.announce_interval_fs, self._evaluate)
+
+    def _become_master(self) -> None:
+        if self.role is not self.ROLE_MASTER:
+            self.elections += 1
+            self.role = self.ROLE_MASTER
+            self.current_master = self.host.name
+            self.slave_role.enabled = False
+            self.master_role.start()
+
+    def _become_slave(self, master: str) -> None:
+        if self.role is not self.ROLE_SLAVE or self.current_master != master:
+            self.elections += 1
+            self.role = self.ROLE_SLAVE
+            self.current_master = master
+            self.master_role.stop()
+            self.slave_role.retarget(master)
+            self.slave_role.enabled = True

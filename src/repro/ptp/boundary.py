@@ -1,0 +1,75 @@
+"""PTP Boundary Clocks (paper Section 2.4.2).
+
+A boundary clock (BC) is a switch-resident PTP node: a *slave* toward the
+grandmaster on its uplink and a *master* toward its downstream clients.
+BCs make PTP scale (the grandmaster only serves the first level) — at the
+cost the paper calls out: "precision errors from Boundary clocks can be
+cascaded to low-level components of the timing hierarchy tree, and can
+significantly impact the precision overall [Jasperneite et al.]".
+
+The cascade arises naturally here: each BC disciplines its own PHC from
+its upstream's already-noisy PHC and then serves that doubly-noisy time
+downstream.  The :func:`run_cascade` experiment measures offset growth
+with hierarchy depth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..clocks.clock import AdjustableFrequencyClock
+from ..network.packet import PacketNetwork
+from ..sim import units
+from ..sim.engine import Simulator
+from .master import PtpMaster
+from .slave import PtpSlave
+
+
+class BoundaryClock:
+    """Slave upstream + master downstream, one disciplined clock.
+
+    Both roles bind to the same host; their handler sets are disjoint
+    (the slave consumes Sync/Follow_Up/Delay_Resp, the master serves
+    Delay_Req), so they coexist on one packet-network endpoint.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: PacketNetwork,
+        host_name: str,
+        upstream_master: str,
+        downstream: List[str],
+        clock: AdjustableFrequencyClock,
+        rng: random.Random,
+        sync_interval_fs: int = units.SEC,
+    ) -> None:
+        self.sim = sim
+        self.host_name = host_name
+        self.clock = clock
+        self.slave = PtpSlave(
+            sim,
+            network,
+            host_name,
+            upstream_master,
+            clock,
+            rng=rng,
+            sync_interval_fs=sync_interval_fs,
+        )
+        self.master = PtpMaster(
+            sim,
+            network,
+            host_name,
+            clock,
+            slaves=list(downstream),
+            sync_interval_fs=sync_interval_fs,
+        )
+
+    def start(self) -> None:
+        """Begin serving downstream (upstream sync is handler-driven)."""
+        self.master.start()
+
+    def stop(self) -> None:
+        self.master.stop()
+        self.slave.enabled = False

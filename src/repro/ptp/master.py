@@ -1,0 +1,104 @@
+"""The PTP grandmaster (timeserver).
+
+Periodically multicasts Sync (an event message, hardware-timestamped on
+egress) followed by Follow_Up carrying the precise egress timestamp — the
+two-step mode the paper's VelaSync deployment used.  Replies to every
+Delay_Req with a Delay_Resp carrying the hardware ingress timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..clocks.clock import AdjustableFrequencyClock
+from ..network.packet import Host, Packet, PacketNetwork
+from ..sim import units
+from ..sim.engine import Simulator
+from . import messages as ptpmsg
+
+
+class PtpMaster:
+    """Grandmaster clock bound to one host of a packet network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: PacketNetwork,
+        host_name: str,
+        clock: AdjustableFrequencyClock,
+        slaves: Optional[List[str]] = None,
+        sync_interval_fs: int = 25 * units.MS,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.host: Host = network.host(host_name)
+        self.clock = clock
+        self.slaves = list(slaves or [])
+        self.sync_interval_fs = sync_interval_fs
+        self.sequence = 0
+        self.syncs_sent = 0
+        self.delay_resps_sent = 0
+        self._running = False
+        self._pending_sync: Dict[int, Packet] = {}
+        self.host.register_handler(ptpmsg.KIND_DELAY_REQ, self._on_delay_req)
+        self.host.register_tx_hook(self._on_tx)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(0, self._send_sync_round)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Sync + Follow_Up
+    # ------------------------------------------------------------------
+    def _send_sync_round(self) -> None:
+        if not self._running:
+            return
+        self.sequence += 1
+        for slave in self.slaves:
+            packet = self.network.send(
+                self.host.name,
+                slave,
+                ptpmsg.SYNC_BYTES,
+                ptpmsg.KIND_SYNC,
+                {"seq": self.sequence},
+            )
+            self._pending_sync[packet.packet_id] = packet
+            self.syncs_sent += 1
+        self.sim.schedule(self.sync_interval_fs, self._send_sync_round)
+
+    def _on_tx(self, packet: Packet, t_fs: int) -> None:
+        """Hardware egress timestamping: emit the Follow_Up for each Sync."""
+        if packet.kind != ptpmsg.KIND_SYNC:
+            return
+        self._pending_sync.pop(packet.packet_id, None)
+        t1 = ptpmsg.quantize_timestamp(self.clock.time_at(t_fs))
+        self.network.send(
+            self.host.name,
+            packet.dst,
+            ptpmsg.FOLLOW_UP_BYTES,
+            ptpmsg.KIND_FOLLOW_UP,
+            {"seq": packet.payload["seq"], "t1_fs": t1},
+        )
+
+    # ------------------------------------------------------------------
+    # Delay_Req handling
+    # ------------------------------------------------------------------
+    def _on_delay_req(self, packet: Packet, first_fs: int, last_fs: int) -> None:
+        t4 = ptpmsg.quantize_timestamp(self.clock.time_at(first_fs))
+        self.network.send(
+            self.host.name,
+            packet.src,
+            ptpmsg.DELAY_RESP_BYTES,
+            ptpmsg.KIND_DELAY_RESP,
+            {
+                "seq": packet.payload.get("seq"),
+                "t4_fs": t4,
+                "req_correction_fs": packet.tc_correction_fs,
+            },
+        )
+        self.delay_resps_sent += 1

@@ -1,0 +1,33 @@
+"""IEEE 1588v2 (PTP) message definitions, as packet kinds and sizes.
+
+We model the two-step flow the paper's testbed used (Timekeeper with a
+VelaSync grandmaster): Sync + Follow_Up multicast from the master,
+Delay_Req / Delay_Resp per slave.  Sync and Delay_Req are *event* messages
+(hardware-timestamped, corrected by transparent clocks); Follow_Up and
+Delay_Resp are *general* messages.
+"""
+
+from __future__ import annotations
+
+KIND_SYNC = "ptp_sync"
+KIND_FOLLOW_UP = "ptp_followup"
+KIND_DELAY_REQ = "ptp_delay_req"
+KIND_DELAY_RESP = "ptp_delay_resp"
+
+#: Event messages: the ones transparent clocks correct.
+EVENT_KINDS = (KIND_SYNC, KIND_DELAY_REQ)
+
+#: On-the-wire sizes (PTP header 34 B + body, inside UDP/IP/Ethernet).
+SYNC_BYTES = 86
+FOLLOW_UP_BYTES = 86
+DELAY_REQ_BYTES = 86
+DELAY_RESP_BYTES = 96
+
+#: Hardware timestamping granularity of the model NIC/PHC (ConnectX-3
+#: class hardware timestamps at ~1/156.25 MHz or better; we use 8 ns).
+TIMESTAMP_GRANULARITY_FS = 8_000_000
+
+
+def quantize_timestamp(reading_fs: float, granularity_fs: int = TIMESTAMP_GRANULARITY_FS) -> float:
+    """Quantize a clock reading to the hardware timestamp granularity."""
+    return (int(reading_fs) // granularity_fs) * granularity_fs

@@ -1,0 +1,103 @@
+"""Clock servo for PTP slaves: sample filtering plus a PI controller.
+
+Commercial PTP stacks (the paper used FSMLabs Timekeeper) smooth and
+filter aggressively: path-delay samples go through a minimum/median filter
+so queueing spikes don't masquerade as clock offset, and the surviving
+offset drives a PI loop that slews the PHC frequency (stepping only on
+gross error).  This module implements that pipeline; its parameters default
+to linuxptp-like constants scaled by the sync interval.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from ..sim import units
+
+
+class DelayFilter:
+    """Minimum-of-window filter for mean-path-delay samples.
+
+    Queueing can only *add* delay, so the windowed minimum tracks the true
+    propagation floor far better than the mean — the classic PTP trick.
+    """
+
+    def __init__(self, window: int = 16) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def update(self, delay_fs: float) -> float:
+        self._samples.append(delay_fs)
+        return min(self._samples)
+
+    @property
+    def current(self) -> Optional[float]:
+        return min(self._samples) if self._samples else None
+
+
+@dataclass
+class ServoAction:
+    """What the servo decided for one offset sample."""
+
+    kind: str  # "step" or "slew"
+    #: For steps: the phase correction (fs).  For slews: new freq adj.
+    value: float
+    offset_fs: float
+
+
+class PiServo:
+    """Proportional-integral frequency servo with a step threshold."""
+
+    def __init__(
+        self,
+        kp: float = 0.7,
+        ki: float = 0.3,
+        step_threshold_fs: float = 10 * units.US,
+        panic_threshold_fs: float = 10 * units.MS,
+        max_freq_adj: float = 500e-6,
+        allow_first_step: bool = True,
+    ) -> None:
+        self.kp = kp
+        self.ki = ki
+        self.step_threshold_fs = step_threshold_fs
+        #: After the first step the servo only slews — chasing queueing
+        #: noise with phase steps is exactly the failure mode real servos
+        #: avoid — unless the offset exceeds this panic threshold.
+        self.panic_threshold_fs = panic_threshold_fs
+        self.max_freq_adj = max_freq_adj
+        self.allow_first_step = allow_first_step
+        self._integral = 0.0  # accumulated fractional-frequency correction
+        self._synced_once = False
+        self.steps = 0
+        self.slews = 0
+
+    def sample(self, offset_fs: float, interval_fs: float) -> ServoAction:
+        """Digest one measured offset (slave minus master).
+
+        Returns the action the caller must apply to its clock: a phase
+        step of ``-offset`` or a new frequency adjustment.
+        """
+        if interval_fs <= 0:
+            raise ValueError("interval must be positive")
+        first = not self._synced_once
+        self._synced_once = True
+        step_now = (
+            first
+            and self.allow_first_step
+            and abs(offset_fs) > self.step_threshold_fs
+        ) or abs(offset_fs) > self.panic_threshold_fs
+        if step_now:
+            self.steps += 1
+            self._integral = 0.0
+            return ServoAction(kind="step", value=-offset_fs, offset_fs=offset_fs)
+        self.slews += 1
+        rate_error = offset_fs / interval_fs  # dimensionless
+        self._integral += self.ki * rate_error
+        self._integral = max(-self.max_freq_adj, min(self.max_freq_adj, self._integral))
+        adj = -(self.kp * rate_error + self._integral)
+        adj = max(-self.max_freq_adj, min(self.max_freq_adj, adj))
+        return ServoAction(kind="slew", value=adj, offset_fs=offset_fs)

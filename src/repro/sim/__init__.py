@@ -1,0 +1,15 @@
+"""Discrete-event simulation engine (femtosecond-resolution, deterministic)."""
+
+from .engine import Event, SimulationError, Simulator
+from .process import Process
+from .randomness import RandomStreams
+from . import units
+
+__all__ = [
+    "Event",
+    "Process",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "units",
+]

@@ -1,0 +1,134 @@
+"""A deterministic discrete-event simulation engine.
+
+The engine is a classic event-queue simulator:
+
+* time is an integer number of femtoseconds (see :mod:`repro.sim.units`);
+* events are callbacks scheduled at absolute times;
+* ties are broken by insertion order, which makes runs deterministic;
+* events may be cancelled, which marks them dead in place (lazy deletion).
+
+The engine knows nothing about networks or clocks; everything above it is
+built from plain callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid use of the simulation engine."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`; user code holds on to them only to call
+    :meth:`Simulator.cancel`.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time} seq={self.seq} {state} {self.fn!r}>"
+
+
+class Simulator:
+    """Event-driven simulator with femtosecond-resolution integer time."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[Event] = []
+        self._pending = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in femtoseconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (not cancelled) events still queued."""
+        return self._pending
+
+    def schedule(self, delay_fs: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay_fs`` femtoseconds from now."""
+        if delay_fs < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_fs})")
+        return self.schedule_at(self._now + delay_fs, fn, *args)
+
+    def schedule_at(self, time_fs: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time_fs``."""
+        if time_fs < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_fs} fs; current time is {self._now} fs"
+            )
+        event = Event(time_fs, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        self._pending += 1
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event (idempotent, ``None``-safe)."""
+        if event is not None and not event.cancelled:
+            event.cancelled = True
+            self._pending -= 1
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._pending -= 1
+            self._now = event.time
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run_until(self, time_fs: int) -> None:
+        """Run every event with ``event.time <= time_fs``; advance to it.
+
+        Time is left at exactly ``time_fs`` even if the queue drains early,
+        so periodic observers see a consistent final timestamp.
+        """
+        if time_fs < self._now:
+            raise SimulationError(
+                f"run_until({time_fs}) is in the past (now={self._now})"
+            )
+        while self._queue:
+            event = self._queue[0]
+            if event.time > time_fs:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._pending -= 1
+            self._now = event.time
+            event.fn(*event.args)
+        self._now = time_fs
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue is empty (or ``max_events``); return count run."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count

@@ -1,0 +1,54 @@
+"""Generator-based processes on top of the event engine.
+
+A *process* is a Python generator that yields the number of femtoseconds to
+sleep before being resumed.  Yielding ``0`` reschedules the process at the
+current time (after already-queued events).  Returning (or raising
+``StopIteration``) ends the process.
+
+This is a convenience layer for sequential behaviours such as traffic
+generators; protocol state machines use plain callbacks instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+ProcessGenerator = Generator[int, None, Any]
+
+
+class Process:
+    """Drives a generator by scheduling its yielded delays on a simulator."""
+
+    def __init__(self, sim: Simulator, generator: ProcessGenerator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or repr(generator)
+        self._generator = generator
+        self._event: Optional[Event] = None
+        self.finished = False
+        self._event = sim.schedule(0, self._resume)
+
+    def _resume(self) -> None:
+        self._event = None
+        try:
+            delay = next(self._generator)
+        except StopIteration:
+            self.finished = True
+            return
+        if not isinstance(delay, int) or delay < 0:
+            raise SimulationError(
+                f"process {self.name!r} yielded invalid delay {delay!r}"
+            )
+        self._event = self.sim.schedule(delay, self._resume)
+
+    def stop(self) -> None:
+        """Cancel the process; it will not be resumed again."""
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+        self.finished = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"

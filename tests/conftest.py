@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(root_seed=1234)

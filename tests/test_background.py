@@ -1,0 +1,68 @@
+"""Unit tests for packet-level background traffic generators."""
+
+import pytest
+
+from repro.network.background import UdpFlow, heavy_load, medium_load
+from repro.network.packet import PacketNetwork
+from repro.network.topology import star
+from repro.sim import units
+
+
+def test_flow_sends_at_target_rate(sim, streams):
+    net = PacketNetwork(sim, star(2))
+    flow = UdpFlow(
+        sim, net, "h0", "h1", rate_bps=1e9, rng=streams.stream("f"), cbr=True
+    )
+    sim.run_until(10 * units.MS)
+    sent_bits = flow.packets_sent * flow.packet_bytes * 8
+    assert sent_bits / 0.010 == pytest.approx(1e9, rel=0.05)
+
+
+def test_poisson_flow_is_irregular(sim, streams):
+    net = PacketNetwork(sim, star(2))
+    flow = UdpFlow(sim, net, "h0", "h1", rate_bps=1e9, rng=streams.stream("f"))
+    sim.run_until(10 * units.MS)
+    assert flow.packets_sent > 100
+
+
+def test_flow_stop(sim, streams):
+    net = PacketNetwork(sim, star(2))
+    flow = UdpFlow(sim, net, "h0", "h1", rate_bps=1e9, rng=streams.stream("f"))
+    sim.run_until(units.MS)
+    count = flow.packets_sent
+    flow.stop()
+    sim.run_until(5 * units.MS)
+    assert flow.packets_sent == count
+
+
+def test_stop_fs_bounds_flow(sim, streams):
+    net = PacketNetwork(sim, star(2))
+    flow = UdpFlow(
+        sim, net, "h0", "h1", rate_bps=1e9, rng=streams.stream("f"),
+        stop_fs=units.MS,
+    )
+    sim.run_until(10 * units.MS)
+    early = flow.packets_sent
+    assert early > 0
+    sim.run_until(20 * units.MS)
+    assert flow.packets_sent == early
+
+
+def test_invalid_rate_rejected(sim, streams):
+    net = PacketNetwork(sim, star(2))
+    with pytest.raises(ValueError):
+        UdpFlow(sim, net, "h0", "h1", rate_bps=0, rng=streams.stream("f"))
+
+
+def test_medium_load_builds_five_flows(sim, streams):
+    net = PacketNetwork(sim, star(8))
+    hosts = [f"h{i}" for i in range(8)]
+    flows = medium_load(sim, net, hosts, streams.stream("bg"))
+    assert len(flows) == 5
+
+
+def test_heavy_load_excludes_hosts(sim, streams):
+    net = PacketNetwork(sim, star(8))
+    hosts = [f"h{i}" for i in range(8)]
+    flows = heavy_load(sim, net, hosts, streams.stream("bg"), exclude=["h7"])
+    assert all(f.src != "h7" and f.dst != "h7" for f in flows)

@@ -1,0 +1,98 @@
+"""Tests for block synchronization and the parameter sweeps."""
+
+import random
+
+import pytest
+
+from repro.experiments.sweeps import sweep_beacon_vs_skew, sweep_ber, sweep_cable_length
+from repro.phy.block_sync import (
+    HI_BER_THRESHOLD,
+    LOCK_THRESHOLD,
+    BlockSync,
+    blocks_to_bitstream,
+    headers_from_bitstream,
+)
+from repro.phy.blocks import idle_block
+from repro.sim import units
+
+
+class TestBlockSync:
+    def test_locks_after_64_valid_headers(self):
+        sync = BlockSync()
+        for index in range(LOCK_THRESHOLD):
+            locked = sync.push_header(0b01)
+            assert locked == (index == LOCK_THRESHOLD - 1)
+        assert sync.locked
+
+    def test_invalid_header_resets_acquisition(self):
+        sync = BlockSync()
+        for _ in range(LOCK_THRESHOLD - 1):
+            sync.push_header(0b10)
+        sync.push_header(0b00)  # invalid: slip
+        assert not sync.locked
+        assert sync.slips == 1
+        for _ in range(LOCK_THRESHOLD):
+            sync.push_header(0b10)
+        assert sync.locked
+
+    def test_hi_ber_drops_lock(self):
+        sync = BlockSync()
+        sync.push_stream([0b01] * LOCK_THRESHOLD)
+        assert sync.locked
+        sync.push_stream([0b11] * HI_BER_THRESHOLD)
+        assert not sync.locked
+        assert sync.hi_ber
+
+    def test_occasional_errors_keep_lock(self):
+        sync = BlockSync()
+        sync.push_stream([0b01] * LOCK_THRESHOLD)
+        pattern = ([0b01] * 2000 + [0b00]) * 10  # 1 bad header per 2000
+        sync.push_stream(pattern)
+        assert sync.locked
+        assert not sync.hi_ber
+
+    def test_relock_after_hi_ber(self):
+        sync = BlockSync()
+        sync.push_stream([0b01] * LOCK_THRESHOLD)
+        sync.push_stream([0b00] * HI_BER_THRESHOLD)
+        assert not sync.locked
+        sync.push_stream([0b01] * LOCK_THRESHOLD)
+        assert sync.locked
+
+    def test_aligned_bitstream_locks(self):
+        blocks = [idle_block().to_int()] * 100
+        headers = headers_from_bitstream(blocks_to_bitstream(blocks))
+        sync = BlockSync()
+        states = sync.push_stream(headers)
+        assert states[-1] is True
+
+    def test_misaligned_bitstream_does_not_lock(self):
+        """With a bit slip the '10' headers land on scrambler-ish payload
+        positions; all-idle payloads are zeros, so headers read 00."""
+        blocks = [idle_block().to_int()] * 100
+        bits = blocks_to_bitstream(blocks)
+        headers = headers_from_bitstream(bits, offset=7)
+        sync = BlockSync()
+        sync.push_stream(headers)
+        assert not sync.locked
+
+
+class TestSweeps:
+    def test_beacon_vs_skew_within_bound(self):
+        result = sweep_beacon_vs_skew(
+            intervals=[200, 4000], ppm_gaps=[0.0, 200.0],
+            duration_fs=3 * units.MS,
+        )
+        assert result.summary["all_within_bound"]
+        assert len(result.summary["table"]) == 3
+
+    def test_cable_length_sweep(self):
+        result = sweep_cable_length(
+            lengths_m=[10.24, 33.3, 1000.0], duration_fs=2 * units.MS
+        )
+        assert result.summary["all_within_five_ticks"]
+        assert result.summary["integer_tick_lengths_within_four"]
+
+    def test_ber_sweep(self):
+        result = sweep_ber(bers=[0.0, 1e-6], duration_fs=3 * units.MS)
+        assert result.summary["all_within_bound"]

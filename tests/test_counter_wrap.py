@@ -1,0 +1,64 @@
+"""Counter wraparound at the 53-bit message boundary (paper Section 4.4).
+
+Messages carry only the 53 LSBs of the 106-bit counter; the low half wraps
+every ~667 days.  Synchronization must ride through the wrap seamlessly:
+reconstruction picks the congruent value nearest the local counter, and
+BEACON_MSB refreshes the high half.
+"""
+
+import pytest
+
+from repro.dtp.messages import COUNTER_LOW_BITS
+from repro.dtp.network import DtpNetwork
+from repro.dtp.port import DtpPortConfig
+from repro.network.topology import chain
+from repro.sim import units
+from repro.sim.randomness import RandomStreams
+
+WRAP = 1 << COUNTER_LOW_BITS
+
+
+@pytest.fixture
+def near_wrap_net(sim, streams):
+    """Two nodes whose counters sit just below the 53-bit wrap."""
+    net = DtpNetwork(
+        sim, chain(2), streams,
+        config=DtpPortConfig(msb_interval_beacons=100),
+    )
+    start = WRAP - 2_000  # ~12.8 us before the low half wraps
+    for device in net.devices.values():
+        device.gc.set_counter(0, start)
+    net.start()
+    return net
+
+
+def test_sync_survives_the_wrap(sim, streams, near_wrap_net):
+    net = near_wrap_net
+    sim.run_until(units.MS)  # counters cross 2^53 within ~13 us
+    assert net.counter_of("n0") > WRAP
+    worst = 0
+    t = sim.now
+    for _ in range(300):
+        t += 10 * units.US
+        sim.run_until(t)
+        worst = max(worst, net.max_abs_offset())
+    assert worst <= 4
+
+
+def test_msb_half_propagates_after_wrap(sim, streams, near_wrap_net):
+    net = near_wrap_net
+    sim.run_until(2 * units.MS)
+    for port in net.ports.values():
+        assert port.remote_msb == 1  # the high half ticked over
+
+
+def test_log_channel_valid_across_wrap(sim, streams, near_wrap_net):
+    net = near_wrap_net
+    net.attach_logger("n0", "n1")
+    sim.run_until(200 * units.US)
+    for _ in range(100):
+        net.send_log("n0", "n1")
+        sim.run_until(sim.now + 5 * units.US)
+    samples = net.logged_for("n0", "n1")
+    assert len(samples) == 100
+    assert all(-4 <= s.offset_ticks <= 4 for s in samples)

@@ -1,0 +1,66 @@
+"""Unit tests for the Section 3.3 closed-form bounds."""
+
+import pytest
+
+from repro.dtp import analysis
+from repro.phy.specs import PHY_10G, PHY_100G
+
+
+def test_direct_bound_is_25_6_ns():
+    assert analysis.direct_bound_ns() == pytest.approx(25.6)
+
+
+def test_network_bound_six_hops_is_153_6_ns():
+    """The paper's headline: 153.6 ns across a six-hop datacenter."""
+    assert analysis.network_bound_ns(6) == pytest.approx(153.6)
+
+
+def test_network_bound_ticks_scale_linearly():
+    assert analysis.network_bound_ticks(1) == 4
+    assert analysis.network_bound_ticks(3) == 12
+
+
+def test_negative_diameter_rejected():
+    with pytest.raises(ValueError):
+        analysis.network_bound_ticks(-1)
+
+
+def test_end_to_end_bound_adds_8t():
+    """Abstract: end-to-end precision better than 4TD + 8T."""
+    assert analysis.end_to_end_bound_ns(6) == pytest.approx(153.6 + 51.2)
+
+
+def test_max_beacon_interval_about_5000_ticks():
+    """Section 3.3: resync within 32 us ~ 5000 ticks keeps drift under 1."""
+    interval = analysis.max_beacon_interval_ticks()
+    assert 4900 <= interval <= 5100
+
+
+def test_safe_beacon_interval_about_4000_ticks():
+    """Paper: 25 us (~4000 ticks) after subtracting 5 us of cable latency."""
+    interval = analysis.safe_beacon_interval_ticks()
+    assert 4100 <= interval <= 4300
+
+
+def test_drift_over_beacon_interval_under_two_ticks():
+    drift = analysis.drift_ticks_over(5000, ppm_gap=200.0)
+    assert drift <= 2.0 + 1e-9
+
+
+def test_owd_error_alpha3_never_overestimates():
+    assert analysis.OwdErrorAnalysis(alpha=3).never_overestimates()
+
+
+def test_owd_error_alpha0_overestimates():
+    assert not analysis.OwdErrorAnalysis(alpha=0).never_overestimates()
+
+
+def test_owd_error_measured_range():
+    owd = analysis.OwdErrorAnalysis(alpha=3)
+    assert owd.measured_min_minus_d == -2
+    assert owd.measured_max_minus_d == 0
+
+
+def test_bound_scales_with_phy_speed():
+    # At 100G a tick is 0.64 ns, so the same 4-tick bound is 2.56 ns.
+    assert analysis.direct_bound_ns(PHY_100G) == pytest.approx(2.56)

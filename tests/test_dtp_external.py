@@ -1,0 +1,92 @@
+"""Unit tests for external (UTC) synchronization over DTP (Section 5.2)."""
+
+import pytest
+
+from repro.clocks.oscillator import ConstantSkew
+from repro.clocks.tsc import TscCounter
+from repro.dtp.daemon import DtpDaemon
+from repro.dtp.external import UtcMaster, UtcSlave
+from repro.dtp.network import DtpNetwork
+from repro.dtp.port import DtpPortConfig
+from repro.network.topology import chain
+from repro.sim import units
+
+
+@pytest.fixture
+def deployment(sim, streams):
+    """A synced two-node DTP network with a daemon on each node."""
+    net = DtpNetwork(
+        sim, chain(2), streams,
+        config=DtpPortConfig(beacon_interval_ticks=1200),
+    )
+    net.start()
+    sim.run_until(units.MS)
+    daemons = {}
+    for index, name in enumerate(("n0", "n1")):
+        tsc = TscCounter(skew=ConstantSkew(3.0 * index - 5.0))
+        daemons[name] = DtpDaemon(
+            sim, net.devices[name], tsc, streams.stream(f"daemon/{name}"),
+            sample_interval_fs=units.MS, smoothing_window=4,
+        )
+        daemons[name].start()
+    sim.run_until(10 * units.MS)
+    return net, daemons
+
+
+def test_slave_learns_utc(sim, streams, deployment):
+    net, daemons = deployment
+    master = UtcMaster(sim, daemons["n0"], broadcast_interval_fs=5 * units.MS)
+    slave = UtcSlave(daemons["n1"])
+    master.subscribe(slave)
+    master.start()
+    sim.run_until(40 * units.MS)
+    error = slave.utc_error_fs(sim.now)
+    assert error is not None
+    # DTP counters everywhere tick in lockstep; residual error is the two
+    # daemons' read errors (~tens of ns).
+    assert abs(error) < 500 * units.NS
+
+
+def test_slave_without_broadcast_returns_none(sim, streams, deployment):
+    _, daemons = deployment
+    slave = UtcSlave(daemons["n1"])
+    assert slave.get_utc(sim.now) is None
+    assert slave.utc_error_fs(sim.now) is None
+
+
+def test_master_bias_propagates(sim, streams, deployment):
+    """A biased UTC source shifts everyone equally (accuracy != precision)."""
+    net, daemons = deployment
+    bias = 3 * units.US
+    master = UtcMaster(
+        sim, daemons["n0"], utc_error_fs=bias, broadcast_interval_fs=5 * units.MS
+    )
+    slave = UtcSlave(daemons["n1"])
+    master.subscribe(slave)
+    master.start()
+    sim.run_until(40 * units.MS)
+    assert slave.utc_error_fs(sim.now) == pytest.approx(bias, abs=units.US)
+
+
+def test_frequency_ratio_converges(sim, streams, deployment):
+    net, daemons = deployment
+    master = UtcMaster(sim, daemons["n0"], broadcast_interval_fs=5 * units.MS)
+    slave = UtcSlave(daemons["n1"])
+    master.subscribe(slave)
+    master.start()
+    sim.run_until(50 * units.MS)
+    # ~6.4 fs of UTC per DTP counter unit.
+    assert slave._fs_per_count == pytest.approx(6_400_000, rel=1e-3)
+
+
+def test_master_stop(sim, streams, deployment):
+    _, daemons = deployment
+    master = UtcMaster(sim, daemons["n0"], broadcast_interval_fs=2 * units.MS)
+    slave = UtcSlave(daemons["n1"])
+    master.subscribe(slave)
+    master.start()
+    sim.run_until(20 * units.MS)
+    count = len(slave.pairs)
+    master.stop()
+    sim.run_until(40 * units.MS)
+    assert len(slave.pairs) == count

@@ -1,0 +1,122 @@
+"""Unit and property tests for the DTP message codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtp import messages as m
+
+
+class TestEncodeDecode:
+    def test_roundtrip_each_type(self):
+        for mtype in m.MessageType:
+            message = m.DtpMessage(mtype, 0x1ABCDEF012345)
+            assert m.decode(m.encode(message)) == message
+
+    def test_encode_layout(self):
+        message = m.DtpMessage(m.MessageType.BEACON, 1)
+        bits = m.encode(message)
+        assert bits >> 53 == int(m.MessageType.BEACON)
+        assert bits & ((1 << 53) - 1) == 1
+
+    def test_fits_in_56_bits(self):
+        message = m.DtpMessage(m.MessageType.LOG, (1 << 53) - 1)
+        assert m.encode(message) < (1 << 56)
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(m.MessageError):
+            m.DtpMessage(m.MessageType.INIT, 1 << 53)
+
+    def test_unknown_type_code_rejected(self):
+        bits = (0b111 << 53) | 5  # type 7 unused
+        with pytest.raises(m.MessageError):
+            m.decode(bits)
+
+    def test_oversized_bits_rejected(self):
+        with pytest.raises(m.MessageError):
+            m.decode(1 << 56)
+
+
+class TestCounterHelpers:
+    def test_counter_low_masks(self):
+        counter = (0xABC << 53) | 0x123
+        assert m.counter_low(counter) == 0x123
+
+    def test_counter_high(self):
+        counter = (0xABC << 53) | 0x123
+        assert m.counter_high(counter) == 0xABC
+
+    def test_reconstruct_exact(self):
+        counter = 123_456_789_000
+        assert m.reconstruct_counter(m.counter_low(counter), counter) == counter
+
+    def test_reconstruct_near_reference(self):
+        counter = 10**15
+        reference = counter + 500  # receiver slightly ahead
+        assert m.reconstruct_counter(m.counter_low(counter), reference) == counter
+
+    def test_reconstruct_across_wrap(self):
+        counter = (1 << 53) + 5  # just wrapped
+        reference = (1 << 53) - 3  # receiver just before the wrap
+        low = m.counter_low(counter)
+        assert m.reconstruct_counter(low, reference) == counter
+
+    def test_reconstruct_backward_wrap(self):
+        counter = (1 << 53) - 3
+        reference = (1 << 53) + 5
+        low = m.counter_low(counter)
+        assert m.reconstruct_counter(low, reference) == counter
+
+    def test_wrap_takes_667_days(self):
+        """Section 4.4: 53 bits of 6.4 ns ticks last about 667 days."""
+        seconds = (1 << 53) * 6.4e-9
+        days = seconds / 86400
+        assert 650 < days < 680
+
+
+class TestParity:
+    def test_payload_with_parity_roundtrip(self):
+        counter = 0b1011
+        payload = m.payload_with_parity(counter)
+        assert m.check_parity(payload)
+        assert m.parity_counter_field(payload) == counter
+
+    def test_parity_detects_lsb_flip(self):
+        payload = m.payload_with_parity(0b101)
+        corrupted = payload ^ 0b001
+        assert not m.check_parity(corrupted)
+
+    def test_parity_bit_position(self):
+        # All-zero counter: parity 0; flipping one LSB makes parity wrong.
+        payload = m.payload_with_parity(0)
+        assert payload == 0
+        assert not m.check_parity(payload ^ 1)
+
+
+@given(
+    mtype=st.sampled_from(list(m.MessageType)),
+    payload=st.integers(min_value=0, max_value=(1 << 53) - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_codec_roundtrip(mtype, payload):
+    message = m.DtpMessage(mtype, payload)
+    assert m.decode(m.encode(message)) == message
+
+
+@given(
+    counter=st.integers(min_value=0, max_value=(1 << 80)),
+    drift=st.integers(min_value=-(1 << 20), max_value=1 << 20),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_reconstruct_recovers_counter(counter, drift):
+    """Any reference within +/-2^20 of the true counter reconstructs it."""
+    reference = max(0, counter + drift)
+    assert m.reconstruct_counter(m.counter_low(counter), reference) == counter
+
+
+@given(counter=st.integers(min_value=0, max_value=(1 << 52) - 1))
+@settings(max_examples=100, deadline=None)
+def test_property_parity_roundtrip(counter):
+    payload = m.payload_with_parity(counter)
+    assert m.check_parity(payload)
+    assert m.parity_counter_field(payload) == counter

@@ -1,0 +1,88 @@
+"""Tests for 802.3x PAUSE flow control in the packet network."""
+
+import pytest
+
+from repro.network.packet import PacketNetwork
+from repro.network.topology import star
+from repro.sim import units
+
+
+def oversubscribe(net, sim, packets=120):
+    """Two senders flood the switch->h0 egress."""
+    delivered = []
+    net.host("h0").register_handler("bulk", lambda p, f, l: delivered.append(p))
+    for _ in range(packets):
+        net.send("h1", "h0", 1500, "bulk")
+        net.send("h2", "h0", 1500, "bulk")
+    sim.run()
+    return delivered
+
+
+class TestPause:
+    def test_without_pfc_overload_drops(self, sim):
+        net = PacketNetwork(sim, star(3), queue_capacity_bytes=32 * 1024)
+        delivered = oversubscribe(net, sim)
+        assert len(delivered) < 240  # tail drops happened
+
+    def test_with_pfc_nothing_drops(self, sim):
+        net = PacketNetwork(sim, star(3), queue_capacity_bytes=32 * 1024)
+        switch = net.switches["sw0"]
+        switch.interfaces["h0"].enable_flow_control(
+            high_bytes=16 * 1024, low_bytes=8 * 1024
+        )
+        # Hosts hold the backlog in memory once paused (they backpressure
+        # the application rather than drop).
+        for host in ("h1", "h2"):
+            net.host(host).interfaces["sw0"].queue.capacity_bytes = 10**7
+        delivered = oversubscribe(net, sim)
+        assert len(delivered) == 240  # PAUSE pushed backlog upstream
+
+    def test_pause_frames_counted(self, sim):
+        net = PacketNetwork(sim, star(3), queue_capacity_bytes=32 * 1024)
+        egress = net.switches["sw0"].interfaces["h0"]
+        egress.enable_flow_control(high_bytes=16 * 1024, low_bytes=8 * 1024)
+        oversubscribe(net, sim)
+        assert egress.pauses_sent > 0
+        host_iface = net.host("h1").interfaces["sw0"]
+        assert host_iface.pauses_received > 0
+
+    def test_pfc_increases_sender_side_delay(self):
+        """PFC trades drops for head-of-line blocking: delivery of the
+        whole burst completes, but the tail waits upstream."""
+        from repro.sim.engine import Simulator
+
+        completion = {}
+        for pfc in (False, True):
+            sim = Simulator()
+            net = PacketNetwork(sim, star(3), queue_capacity_bytes=32 * 1024)
+            if pfc:
+                net.switches["sw0"].interfaces["h0"].enable_flow_control(
+                    high_bytes=16 * 1024, low_bytes=8 * 1024
+                )
+            last = [0]
+            net.host("h0").register_handler(
+                "bulk", lambda p, f, l: last.__setitem__(0, l)
+            )
+            for _ in range(60):
+                net.send("h1", "h0", 1500, "bulk")
+                net.send("h2", "h0", 1500, "bulk")
+            sim.run()
+            completion[pfc] = last[0]
+        assert completion[True] >= completion[False]
+
+    def test_invalid_watermarks_rejected(self, sim):
+        net = PacketNetwork(sim, star(2))
+        iface = net.host("h0").interfaces["sw0"]
+        with pytest.raises(ValueError):
+            iface.enable_flow_control(high_bytes=1000, low_bytes=1000)
+
+    def test_resume_restarts_transmission(self, sim):
+        net = PacketNetwork(sim, star(2))
+        iface = net.host("h0").interfaces["sw0"]
+        iface.set_paused(True)
+        net.send("h0", "h1", 500, "x")
+        sim.run()
+        assert net.host("h1").packets_received == 0
+        iface.set_paused(False)
+        sim.run()
+        assert net.host("h1").packets_received == 1

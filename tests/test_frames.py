@@ -1,0 +1,59 @@
+"""Unit tests for Ethernet frame geometry."""
+
+import pytest
+
+from repro.ethernet.frames import (
+    JUMBO_FRAME,
+    MIN_FRAME,
+    MTU_FRAME,
+    FrameError,
+    FrameSpec,
+    beacon_interval_ticks_for,
+)
+
+
+def test_mtu_frame_block_count_matches_paper():
+    """Paper Section 4.4: ~191 blocks for a 1522 B MTU frame."""
+    assert MTU_FRAME.blocks in (191, 192)
+
+
+def test_jumbo_frame_block_count_matches_paper():
+    """Paper Section 4.4: ~1129 blocks for a ~9 kB jumbo frame."""
+    assert JUMBO_FRAME.blocks == 1129
+
+
+def test_beacon_interval_mtu_about_200():
+    """Saturated MTU links leave a DTP slot every ~200 cycles."""
+    assert 190 <= beacon_interval_ticks_for(MTU_FRAME) <= 200
+
+
+def test_beacon_interval_jumbo_about_1200():
+    assert 1100 <= beacon_interval_ticks_for(JUMBO_FRAME) <= 1200
+
+
+def test_min_frame():
+    assert MIN_FRAME.frame_bytes == 64
+    assert MIN_FRAME.blocks == 9  # 72 wire bytes / 8
+
+
+def test_undersized_frame_rejected():
+    with pytest.raises(FrameError):
+        FrameSpec(frame_bytes=63)
+
+
+def test_slot_blocks_is_blocks_plus_idle():
+    assert MTU_FRAME.slot_blocks == MTU_FRAME.blocks + 1
+
+
+def test_serialization_time_mtu():
+    # ~192 blocks at 6.4 ns each: ~1.23 us, consistent with the paper's
+    # ~1280 ns between beacon opportunities.
+    assert 1_200_000_000 < MTU_FRAME.serialization_fs() < 1_300_000_000
+
+
+def test_payload_bytes():
+    assert MTU_FRAME.payload_bytes() == 1504  # 1522 - 14 - 4
+
+
+def test_wire_bytes_includes_preamble():
+    assert MTU_FRAME.wire_bytes == 1530

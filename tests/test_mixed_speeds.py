@@ -1,0 +1,86 @@
+"""Heterogeneous-speed DTP networks (paper Section 7).
+
+Servers at 1/10 GbE, uplinks at 40/100 GbE: counters tick in the common
+0.32 ns unit with per-speed increments (Table 2's delta), so one time base
+spans the whole fabric.
+"""
+
+import pytest
+
+from repro.dtp.network import DtpNetwork
+from repro.network.topology import chain, star, two_level_tree
+from repro.phy.specs import COMMON_COUNTER_UNIT_FS, PHY_1G, PHY_10G, PHY_40G, PHY_100G
+from repro.sim import units
+from repro.sim.randomness import RandomStreams
+
+
+def worst_offset(net, sim, duration_fs, warmup_fs=units.MS):
+    sim.run_until(warmup_fs)
+    worst = 0
+    t = sim.now
+    while t < duration_fs:
+        t += 20 * units.US
+        sim.run_until(t)
+        worst = max(worst, net.max_abs_offset())
+    return worst
+
+
+class TestMixedSpeeds:
+    def test_10g_to_100g_link(self, sim, streams):
+        specs = {"n0": PHY_10G, "n1": PHY_100G}
+        net = DtpNetwork(sim, chain(2), streams, device_specs=specs)
+        net.start()
+        worst = worst_offset(net, sim, 3 * units.MS)
+        # Per-link error budget in common units: the slower side's tick
+        # dominates every quantization, so 4 ticks of each side combined.
+        bound_units = 4 * (PHY_10G.counter_increment + PHY_100G.counter_increment)
+        assert worst <= bound_units
+
+    def test_all_four_speeds_in_one_star(self, sim, streams):
+        specs = {
+            "sw0": PHY_100G,
+            "h0": PHY_10G,
+            "h1": PHY_40G,
+            "h2": PHY_10G,
+            "h3": PHY_1G,
+        }
+        net = DtpNetwork(sim, star(4), streams, device_specs=specs)
+        net.start()
+        worst = worst_offset(net, sim, 3 * units.MS)
+        assert net.all_synchronized()
+        # Worst path: 1G host to any host via the 100G switch; each link
+        # contributes ~4 ticks of its slower end.
+        bound_units = 4 * PHY_1G.counter_increment + 4 * PHY_10G.counter_increment
+        assert worst <= bound_units
+        assert worst * COMMON_COUNTER_UNIT_FS <= 64 * units.NS
+
+    def test_counters_advance_at_common_rate(self, sim, streams):
+        """All devices count ~3.125 units per ns regardless of speed."""
+        specs = {"n0": PHY_10G, "n1": PHY_100G}
+        net = DtpNetwork(sim, chain(2), streams, device_specs=specs)
+        net.start()
+        sim.run_until(2 * units.MS)
+        expected = 2 * units.MS // COMMON_COUNTER_UNIT_FS
+        for name in ("n0", "n1"):
+            assert net.counter_of(name) == pytest.approx(expected, rel=1e-3)
+
+    def test_datacenter_shape_fast_core(self, sim, streams):
+        """The Section 7 deployment: 10G at the edge, 40G aggregation."""
+        topology = two_level_tree(2, 2)
+        specs = {"s0": PHY_40G, "s1": PHY_40G, "s2": PHY_40G}
+        for host in topology.hosts():
+            specs[host] = PHY_10G
+        net = DtpNetwork(sim, topology, streams, device_specs=specs)
+        net.start()
+        worst = worst_offset(net, sim, 3 * units.MS)
+        assert net.all_synchronized()
+        # 4 hops max, dominated by the 10G edges: stay within 4 hops of
+        # 4x the 10G increment.
+        assert worst <= 4 * 4 * PHY_10G.counter_increment
+
+    def test_unspecified_devices_use_default_spec(self, sim, streams):
+        net = DtpNetwork(
+            sim, chain(2), streams, device_specs={"n0": PHY_100G}
+        )
+        assert net.devices["n1"].counter_increment == PHY_10G.counter_increment
+        assert net.devices["n0"].counter_increment == PHY_100G.counter_increment

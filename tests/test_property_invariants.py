@@ -1,0 +1,121 @@
+"""Property-based tests of DTP's core invariants (hypothesis).
+
+The invariants under random skews, cable lengths, and beacon intervals:
+
+1. global counters are strictly monotonic;
+2. adjacent nodes stay within 4 ticks once synchronized;
+3. nobody outruns the fastest oscillator by more than the OWD slack;
+4. the message codec is lossless for every counter value.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.oscillator import ConstantSkew
+from repro.dtp.network import DtpNetwork
+from repro.dtp.port import DtpPortConfig
+from repro.network.link import Cable
+from repro.network.topology import Topology
+from repro.sim import units
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+
+def build_pair(ppm_a, ppm_b, length_m, beacon_interval, seed):
+    sim = Simulator()
+    topo = Topology()
+    topo.add_host("a")
+    topo.add_host("b")
+    topo.add_link("a", "b", Cable(length_m=length_m))
+    net = DtpNetwork(
+        sim,
+        topo,
+        RandomStreams(seed),
+        config=DtpPortConfig(beacon_interval_ticks=beacon_interval),
+        skews={"a": ConstantSkew(ppm_a), "b": ConstantSkew(ppm_b)},
+    )
+    net.start()
+    return sim, net
+
+
+@given(
+    ppm_a=st.floats(min_value=-100.0, max_value=100.0),
+    ppm_b=st.floats(min_value=-100.0, max_value=100.0),
+    length_m=st.floats(min_value=1.0, max_value=50.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_two_nodes_synchronize_within_five_ticks(
+    ppm_a, ppm_b, length_m, seed
+):
+    """Any in-spec pair ends up within the direct bound.
+
+    (5 rather than 4: arbitrary cable lengths add a fractional-tick phase
+    the paper's integer-delay analysis does not model; see Cable.)
+    """
+    sim, net = build_pair(ppm_a, ppm_b, length_m, 200, seed)
+    sim.run_until(units.MS)
+    worst = 0
+    t = sim.now
+    for _ in range(40):
+        t += 20 * units.US
+        sim.run_until(t)
+        worst = max(worst, abs(net.pair_offset("a", "b", t)))
+    assert worst <= 5
+
+
+@given(
+    ppm_a=st.floats(min_value=-100.0, max_value=100.0),
+    ppm_b=st.floats(min_value=-100.0, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_global_counters_strictly_monotonic(ppm_a, ppm_b, seed):
+    sim, net = build_pair(ppm_a, ppm_b, 10.24, 200, seed)
+    previous = {"a": -1, "b": -1}
+    t = 0
+    while t < 2 * units.MS:
+        t += 37 * units.US
+        sim.run_until(t)
+        for name in ("a", "b"):
+            current = net.counter_of(name, t)
+            assert current > previous[name]
+            previous[name] = current
+
+
+@given(
+    ppm_fast=st.floats(min_value=0.0, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_network_never_outruns_fastest_clock(ppm_fast, seed):
+    """With alpha = 3, the network counter tracks the fastest oscillator:
+    over any window its gain never exceeds the fast clock's tick gain."""
+    sim, net = build_pair(ppm_fast, -50.0, 10.24, 200, seed)
+    sim.run_until(units.MS)
+    fast = net.devices["a"]
+    start_t = sim.now
+    start_gc = fast.global_counter(start_t)
+    start_ticks = fast.oscillator.ticks_at(start_t)
+    sim.run_until(start_t + 3 * units.MS)
+    gc_gain = fast.global_counter(sim.now) - start_gc
+    tick_gain = fast.oscillator.ticks_at(sim.now) - start_ticks
+    assert gc_gain <= tick_gain
+
+
+@given(
+    interval=st.integers(min_value=100, max_value=4000),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_any_interval_under_4000_keeps_bound(interval, seed):
+    """Section 3.3: any beacon interval below ~4000 ticks gives <= 4."""
+    sim, net = build_pair(100.0, -100.0, 10.24, interval, seed)
+    sim.run_until(units.MS)
+    worst = 0
+    t = sim.now
+    for _ in range(40):
+        t += 25 * units.US
+        sim.run_until(t)
+        worst = max(worst, abs(net.pair_offset("a", "b", t)))
+    assert worst <= 4

@@ -1,0 +1,108 @@
+"""Unit tests for the PTP servo and delay filter."""
+
+import pytest
+
+from repro.ptp.servo import DelayFilter, PiServo
+from repro.sim import units
+
+
+class TestDelayFilter:
+    def test_single_sample_passthrough(self):
+        f = DelayFilter(window=4)
+        assert f.update(100.0) == 100.0
+
+    def test_minimum_wins(self):
+        f = DelayFilter(window=4)
+        f.update(100.0)
+        f.update(50.0)
+        assert f.update(200.0) == 50.0
+
+    def test_window_expires_old_minimum(self):
+        f = DelayFilter(window=2)
+        f.update(10.0)
+        f.update(100.0)
+        assert f.update(100.0) == 100.0
+
+    def test_current_none_before_samples(self):
+        assert DelayFilter().current is None
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            DelayFilter(window=0)
+
+    def test_queueing_spike_rejected(self):
+        """The reason for the filter: spikes only add delay, never remove."""
+        f = DelayFilter(window=8)
+        base = 300.0
+        for _ in range(4):
+            f.update(base)
+        assert f.update(base + 50_000.0) == base
+
+
+class TestPiServo:
+    def test_first_big_offset_steps(self):
+        servo = PiServo()
+        action = servo.sample(50 * units.US, units.SEC)
+        assert action.kind == "step"
+        assert action.value == -50 * units.US
+
+    def test_subsequent_big_offsets_slew(self):
+        """Real servos stop stepping after lock — chasing noise with phase
+        steps is the failure mode (and was a bug in this code once)."""
+        servo = PiServo()
+        servo.sample(50 * units.US, units.SEC)
+        action = servo.sample(40 * units.US, units.SEC)
+        assert action.kind == "slew"
+
+    def test_panic_threshold_steps_again(self):
+        servo = PiServo(panic_threshold_fs=units.MS)
+        servo.sample(50 * units.US, units.SEC)
+        action = servo.sample(5 * units.MS, units.SEC)
+        assert action.kind == "step"
+
+    def test_small_first_offset_slews(self):
+        servo = PiServo()
+        action = servo.sample(units.US, units.SEC)
+        assert action.kind == "slew"
+
+    def test_slew_opposes_offset(self):
+        servo = PiServo()
+        action = servo.sample(units.US, units.SEC)  # we are ahead
+        assert action.value < 0  # slow down
+
+    def test_freq_adj_clamped(self):
+        servo = PiServo(max_freq_adj=100e-6, panic_threshold_fs=units.SEC)
+        servo.sample(1.0, units.SEC)  # consume the first-step allowance
+        action = servo.sample(5 * units.MS, units.SEC)
+        assert action.kind == "slew"
+        assert abs(action.value) <= 100e-6
+
+    def test_integral_accumulates(self):
+        servo = PiServo()
+        first = servo.sample(units.US, units.SEC)
+        second = servo.sample(units.US, units.SEC)
+        # Same offset twice: integral term grows the correction.
+        assert abs(second.value) > abs(first.value)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PiServo().sample(0.0, 0)
+
+    def test_closed_loop_converges_on_constant_skew(self):
+        """Simulate the plant: offset' = (skew + adj) * dt."""
+        servo = PiServo()
+        skew = 20e-6  # 20 ppm
+        offset = 0.0
+        dt = units.SEC
+        adj = 0.0
+        history = []
+        for _ in range(60):
+            offset += (skew + adj) * dt
+            action = servo.sample(offset, dt)
+            if action.kind == "step":
+                offset += action.value
+            else:
+                adj = action.value
+            history.append(abs(offset))
+        assert history[-1] < 0.05 * max(history)
+        assert adj == pytest.approx(-skew, rel=0.2)

@@ -1,0 +1,99 @@
+"""Integration tests for the PTP deployment."""
+
+import pytest
+
+from repro.network.packet import Switch
+from repro.network.topology import star
+from repro.ptp.messages import quantize_timestamp
+from repro.ptp.network import PtpConfig, PtpDeployment
+from repro.sim import units
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+
+def run_deployment(load, seconds=240, seed=21, config=None, exclude=None):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    deployment = PtpDeployment(
+        sim, star(5), streams, master="h0", config=config or PtpConfig()
+    )
+    deployment.apply_load(load, exclude_hosts=exclude)
+    deployment.start()
+    worst_tail = 0.0
+    for second in range(1, seconds + 1):
+        sim.run_until(second * units.SEC)
+        if second > seconds // 2:
+            worst = max(
+                abs(deployment.true_offset_fs(n)) for n in deployment.slaves
+            )
+            worst_tail = max(worst_tail, worst)
+    return deployment, worst_tail
+
+
+class TestIdleNetwork:
+    def test_slaves_converge_to_sub_microsecond(self):
+        _, worst = run_deployment("idle")
+        assert worst < units.US  # paper: hundreds of ns when idle
+
+    def test_exchanges_complete(self):
+        deployment, _ = run_deployment("idle", seconds=30)
+        for slave in deployment.slaves.values():
+            assert slave.exchanges_completed > 20
+
+    def test_initial_error_removed(self):
+        deployment, _ = run_deployment("idle", seconds=60)
+        for slave in deployment.slaves.values():
+            assert slave.servo.steps >= 1  # the initial step happened
+
+
+class TestLoadDegradation:
+    def test_medium_load_degrades_precision(self):
+        _, idle_worst = run_deployment("idle")
+        _, medium_worst = run_deployment("medium")
+        assert medium_worst > 3 * idle_worst
+
+    def test_heavy_load_degrades_further(self):
+        _, medium_worst = run_deployment("medium")
+        _, heavy_worst = run_deployment("heavy")
+        assert heavy_worst > medium_worst
+        assert heavy_worst > 20 * units.US  # paper: tens-to-hundreds of us
+
+    def test_excluded_host_keeps_clean_links(self):
+        deployment, _ = run_deployment("heavy", exclude=["h4"])
+        host_iface = deployment.network.host("h4").interfaces["sw0"]
+        assert host_iface.virtual_load is None
+
+
+class TestTransparentClockModes:
+    def test_ideal_tc_resists_load(self):
+        config = PtpConfig(tc_mode=Switch.TC_IDEAL)
+        _, ideal_worst = run_deployment("heavy", config=config)
+        _, broken_worst = run_deployment("heavy")
+        # A correct TC keeps PTP accurate under congestion (Section 2.4.2);
+        # the enqueue-stamped one collapses (what the paper observed).
+        assert ideal_worst < broken_worst / 3
+
+
+class TestTimestamps:
+    def test_quantize_timestamp_granularity(self):
+        assert quantize_timestamp(12_345_678.0, 8_000_000) == 8_000_000
+        assert quantize_timestamp(16_000_001.0, 8_000_000) == 16_000_000
+
+    def test_master_not_in_slaves(self):
+        sim = Simulator()
+        deployment = PtpDeployment(
+            sim, star(3), RandomStreams(1), master="h0"
+        )
+        assert "h0" not in deployment.slaves
+        assert set(deployment.slaves) == {"h1", "h2"}
+
+    def test_master_must_be_host(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PtpDeployment(sim, star(3), RandomStreams(1), master="sw0")
+
+    def test_unknown_load_rejected(self):
+        sim = Simulator()
+        deployment = PtpDeployment(sim, star(3), RandomStreams(1), master="h0")
+        with pytest.raises(ValueError):
+            deployment.apply_load("apocalyptic")

@@ -1,0 +1,83 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import SimulationError
+from repro.sim.process import Process
+
+
+def test_process_runs_to_completion(sim):
+    log = []
+
+    def worker():
+        log.append(("start", sim.now))
+        yield 100
+        log.append(("mid", sim.now))
+        yield 50
+        log.append(("end", sim.now))
+
+    process = Process(sim, worker())
+    sim.run()
+    assert log == [("start", 0), ("mid", 100), ("end", 150)]
+    assert process.finished
+
+
+def test_process_stop_cancels_future_resumes(sim):
+    log = []
+
+    def worker():
+        while True:
+            log.append(sim.now)
+            yield 10
+
+    process = Process(sim, worker())
+    sim.run_until(35)
+    process.stop()
+    sim.run_until(100)
+    assert log == [0, 10, 20, 30]
+    assert process.finished
+
+
+def test_yielding_negative_delay_raises(sim):
+    def worker():
+        yield -5
+
+    Process(sim, worker())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_yielding_non_int_raises(sim):
+    def worker():
+        yield 1.5
+
+    Process(sim, worker())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_zero_yield_continues_same_time(sim):
+    times = []
+
+    def worker():
+        times.append(sim.now)
+        yield 0
+        times.append(sim.now)
+
+    Process(sim, worker())
+    sim.run()
+    assert times == [0, 0]
+
+
+def test_two_processes_interleave(sim):
+    log = []
+
+    def worker(name, period):
+        for _ in range(3):
+            log.append((name, sim.now))
+            yield period
+
+    Process(sim, worker("a", 10))
+    Process(sim, worker("b", 15))
+    sim.run()
+    assert ("a", 20) in log and ("b", 30) in log

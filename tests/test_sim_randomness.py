@@ -1,0 +1,52 @@
+"""Unit tests for named random streams."""
+
+from repro.sim.randomness import RandomStreams
+
+
+def test_same_name_returns_same_stream():
+    streams = RandomStreams(1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(1)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_same_seed_reproduces_sequences():
+    first = RandomStreams(42).stream("x")
+    second = RandomStreams(42).stream("x")
+    assert [first.random() for _ in range(10)] == [second.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    first = RandomStreams(1).stream("x")
+    second = RandomStreams(2).stream("x")
+    assert [first.random() for _ in range(5)] != [second.random() for _ in range(5)]
+
+
+def test_stream_isolation_from_creation_order():
+    forward = RandomStreams(7)
+    values_a = [forward.stream("a").random() for _ in range(3)]
+
+    backward = RandomStreams(7)
+    backward.stream("b")  # create b first this time
+    values_a_again = [backward.stream("a").random() for _ in range(3)]
+    assert values_a == values_a_again
+
+
+def test_fork_produces_independent_factory():
+    root = RandomStreams(9)
+    child = root.fork("child")
+    assert child.root_seed != root.root_seed
+    root_values = [root.stream("s").random() for _ in range(3)]
+    child_values = [child.stream("s").random() for _ in range(3)]
+    assert root_values != child_values
+
+
+def test_fork_is_deterministic():
+    one = RandomStreams(9).fork("child").stream("s").random()
+    two = RandomStreams(9).fork("child").stream("s").random()
+    assert one == two

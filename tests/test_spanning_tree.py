@@ -1,0 +1,146 @@
+"""Unit tests for master-rooted DTP (paper Section 5.4)."""
+
+import pytest
+
+from repro.clocks.oscillator import ConstantSkew, Oscillator
+from repro.dtp.network import DtpNetwork
+from repro.dtp.spanning_tree import FollowerClock, configure_spanning_tree
+from repro.network.topology import Topology, chain, two_level_tree
+from repro.sim import units
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+TICK = units.TICK_10G_FS
+
+
+class TestFollowerClock:
+    def make(self, ppm=0.0):
+        return FollowerClock(Oscillator(TICK, ConstantSkew(ppm)))
+
+    def test_jump_forward(self):
+        clock = self.make()
+        t = 100 * TICK
+        assert clock.track(t, 500) == "jump"
+        assert clock.counter_at(t) == 500
+
+    def test_stall_drops_excess_ticks(self):
+        clock = self.make()
+        t = 100 * TICK
+        assert clock.track(t, 97) == "stall"  # we are 3 ticks fast
+        # Displayed value holds at 100...
+        assert clock.counter_at(t) == 100
+        assert clock.counter_at(t + TICK) == 100
+        assert clock.counter_at(t + 2 * TICK) == 100
+        # ...and resumes once the rewound base catches up (3 ticks later).
+        assert clock.counter_at(t + 4 * TICK) == 101
+
+    def test_counter_monotonic_through_stall(self):
+        clock = self.make(100.0)
+        previous = -1
+        t = 0
+        for step in range(200):
+            t += TICK
+            if step == 50:
+                clock.track(t, clock.counter_at(t) - 2)
+            value = clock.counter_at(t)
+            assert value >= previous
+            previous = value
+
+    def test_equal_candidate_holds(self):
+        clock = self.make()
+        t = 10 * TICK
+        assert clock.track(t, clock.counter_at(t)) == "hold"
+
+    def test_reference_counter_ignores_hold(self):
+        clock = self.make()
+        t = 100 * TICK
+        clock.track(t, 95)
+        assert clock.reference_counter_at(t) == 95  # rewound free value
+        assert clock.counter_at(t) == 100  # held display
+
+    def test_stall_counter_increments(self):
+        clock = self.make()
+        clock.track(100 * TICK, 90)
+        assert clock.stalls == 1
+
+
+def _runaway_net(sim, seed=4, runaway_ppm=800.0):
+    skews = {
+        "n0": ConstantSkew(0.0),
+        "n1": ConstantSkew(runaway_ppm),
+        "n2": ConstantSkew(-30.0),
+    }
+    return DtpNetwork(sim, chain(3), RandomStreams(seed), skews=skews)
+
+
+class TestSpanningTree:
+    def test_parent_map(self, sim):
+        net = DtpNetwork(sim, two_level_tree(2, 2), RandomStreams(1))
+        parents = configure_spanning_tree(net, master="s0")
+        assert parents["s0"] is None
+        assert parents["s1"] == "s0"
+        assert parents["h0"] in ("s1", "s2")
+
+    def test_unknown_master_rejected(self, sim):
+        net = DtpNetwork(sim, chain(2), RandomStreams(1))
+        with pytest.raises(ValueError):
+            configure_spanning_tree(net, master="ghost")
+
+    def test_master_rate_immune_to_runaway(self, sim):
+        """Plain DTP follows the fastest clock; tree DTP follows the master."""
+        net = _runaway_net(sim)
+        configure_spanning_tree(net, master="n0")
+        net.start()
+        sim.run_until(5 * units.MS)
+        nominal = 5 * units.MS // TICK
+        assert abs(net.counter_of("n0") - nominal) <= 2
+
+    def test_children_track_master_within_bound(self, sim):
+        net = _runaway_net(sim)
+        configure_spanning_tree(net, master="n0")
+        net.start()
+        sim.run_until(2 * units.MS)
+        worst = 0
+        t = sim.now
+        for _ in range(200):
+            t += 20 * units.US
+            sim.run_until(t)
+            worst = max(worst, net.max_abs_offset())
+        # Two hops, one via an 800 ppm runaway: comfortably bounded.
+        assert worst <= 8
+
+    def test_runaway_child_stalls(self, sim):
+        net = _runaway_net(sim)
+        configure_spanning_tree(net, master="n0")
+        net.start()
+        sim.run_until(3 * units.MS)
+        uplink = net.ports[("n1", "n0")]
+        assert uplink.lc.stalls > 100  # drops ~0.16 tick/beacon worth
+
+    def test_counters_monotonic_in_tree_mode(self, sim):
+        net = _runaway_net(sim)
+        configure_spanning_tree(net, master="n0")
+        net.start()
+        previous = {name: -1 for name in ("n0", "n1", "n2")}
+        t = 0
+        while t < 3 * units.MS:
+            t += 40 * units.US
+            sim.run_until(t)
+            for name in previous:
+                value = net.counter_of(name, t)
+                assert value >= previous[name]
+                previous[name] = value
+
+    def test_in_spec_network_also_fine(self, sim):
+        """Tree mode on a healthy network behaves like plain DTP."""
+        net = DtpNetwork(sim, chain(3), RandomStreams(9))
+        configure_spanning_tree(net, master="n0")
+        net.start()
+        sim.run_until(2 * units.MS)
+        worst = 0
+        t = sim.now
+        for _ in range(100):
+            t += 20 * units.US
+            sim.run_until(t)
+            worst = max(worst, net.max_abs_offset())
+        assert worst <= 8

@@ -1,0 +1,151 @@
+"""Unit and property tests for idle-cadence traffic models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ethernet.frames import MTU_FRAME, JUMBO_FRAME
+from repro.ethernet.traffic import (
+    BurstyTraffic,
+    DelayedTraffic,
+    IdleLink,
+    PartialLoadTraffic,
+    SaturatedTraffic,
+    TrafficError,
+)
+
+
+class TestIdleLink:
+    def test_every_tick_is_idle(self):
+        model = IdleLink()
+        for tick in (0, 1, 7, 1000):
+            assert model.next_idle_tick(tick) == tick
+
+    def test_zero_utilization(self):
+        assert IdleLink().utilization() == 0.0
+
+
+class TestSaturatedTraffic:
+    def test_idle_slots_once_per_frame_slot(self):
+        model = SaturatedTraffic(MTU_FRAME)
+        first = model.next_idle_tick(0)
+        second = model.next_idle_tick(first + 1)
+        assert second - first == MTU_FRAME.slot_blocks
+
+    def test_phase_shifts_slots(self):
+        base = SaturatedTraffic(MTU_FRAME, phase=0)
+        shifted = SaturatedTraffic(MTU_FRAME, phase=7)
+        assert shifted.next_idle_tick(0) == base.next_idle_tick(0) + 7
+
+    def test_idle_tick_query_exact_hit(self):
+        model = SaturatedTraffic(MTU_FRAME, phase=5)
+        slot = model.next_idle_tick(0)
+        assert model.next_idle_tick(slot) == slot
+
+    def test_utilization_close_to_one(self):
+        assert SaturatedTraffic(JUMBO_FRAME).utilization() > 0.999
+
+    def test_result_never_before_query(self):
+        model = SaturatedTraffic(MTU_FRAME, phase=11)
+        for tick in range(0, 1000, 37):
+            assert model.next_idle_tick(tick) >= tick
+
+
+class TestPartialLoadTraffic:
+    def make(self, load):
+        return PartialLoadTraffic(MTU_FRAME, load, random.Random(5))
+
+    def test_zero_load_always_idle_soon(self):
+        model = self.make(0.0)
+        assert model.next_idle_tick(100) == 100
+
+    def test_monotonic_queries_enforced(self):
+        model = self.make(0.5)
+        model.next_idle_tick(1000)
+        with pytest.raises(TrafficError):
+            model.next_idle_tick(10)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(1.0)
+        with pytest.raises(ValueError):
+            self.make(-0.1)
+
+    def test_average_gap_tracks_load(self):
+        """At 50% load, idle opportunities come about one frame apart."""
+        model = self.make(0.5)
+        slots = []
+        tick = 0
+        for _ in range(300):
+            slot = model.next_idle_tick(tick)
+            slots.append(slot)
+            tick = slot + 1
+        # Average spacing between used slots stays well under the frame
+        # size at 50% load (long idle runs offer many slots).
+        spacing = (slots[-1] - slots[0]) / (len(slots) - 1)
+        assert spacing < MTU_FRAME.blocks
+
+    def test_result_never_before_query(self):
+        model = self.make(0.8)
+        tick = 0
+        for _ in range(200):
+            slot = model.next_idle_tick(tick)
+            assert slot >= tick
+            tick = slot + 17
+
+
+class TestBurstyTraffic:
+    def test_off_period_all_idle(self):
+        model = BurstyTraffic(MTU_FRAME, burst_frames=2, idle_ticks=100)
+        burst_ticks = 2 * MTU_FRAME.slot_blocks
+        inside_off = burst_ticks + 10
+        assert model.next_idle_tick(inside_off) == inside_off
+
+    def test_burst_period_one_slot_per_frame(self):
+        model = BurstyTraffic(MTU_FRAME, burst_frames=3, idle_ticks=50)
+        slot = model.next_idle_tick(0)
+        assert slot == MTU_FRAME.slot_blocks - 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BurstyTraffic(MTU_FRAME, burst_frames=0, idle_ticks=10)
+        with pytest.raises(ValueError):
+            BurstyTraffic(MTU_FRAME, burst_frames=1, idle_ticks=0)
+
+    def test_utilization_between_zero_and_one(self):
+        model = BurstyTraffic(MTU_FRAME, burst_frames=5, idle_ticks=500)
+        assert 0.0 < model.utilization() < 1.0
+
+
+class TestDelayedTraffic:
+    def test_idle_before_start(self):
+        model = DelayedTraffic(SaturatedTraffic(MTU_FRAME), start_tick=1000)
+        assert model.next_idle_tick(5) == 5
+        assert model.next_idle_tick(999) == 999
+
+    def test_inner_model_after_start(self):
+        inner = SaturatedTraffic(MTU_FRAME)
+        model = DelayedTraffic(SaturatedTraffic(MTU_FRAME), start_tick=1000)
+        assert model.next_idle_tick(1000) == 1000 + inner.next_idle_tick(0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            DelayedTraffic(IdleLink(), start_tick=-1)
+
+
+@given(
+    phase=st.integers(min_value=0, max_value=2000),
+    queries=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_saturated_slots_are_slots(phase, queries):
+    """Whatever we query, the returned tick is at/after the query and is a
+    genuine idle slot (querying it again returns itself)."""
+    model = SaturatedTraffic(MTU_FRAME, phase=phase)
+    for q in queries:
+        slot = model.next_idle_tick(q)
+        assert slot >= q
+        assert model.next_idle_tick(slot) == slot
+        assert (slot - phase) % MTU_FRAME.slot_blocks == 0

@@ -1,0 +1,40 @@
+"""Unit tests for the TSC model."""
+
+import pytest
+
+from repro.clocks.oscillator import ConstantSkew
+from repro.clocks.tsc import TSC_FREQUENCY_HZ, TSC_PERIOD_FS, TscCounter
+from repro.sim import units
+
+
+def test_tsc_period_matches_frequency():
+    assert TSC_PERIOD_FS == round(units.SEC / TSC_FREQUENCY_HZ)
+
+
+def test_rdtsc_counts_cycles():
+    tsc = TscCounter()
+    cycles = tsc.rdtsc(units.MS)
+    # The integer-femtosecond period rounds 344827.58... fs to 344828 fs,
+    # a ~1.2 ppm quantization of the nominal rate.
+    assert cycles == pytest.approx(TSC_FREQUENCY_HZ / 1000, rel=5e-6)
+
+
+def test_rdtsc_monotonic():
+    tsc = TscCounter(skew=ConstantSkew(25.0))
+    previous = -1
+    for t in range(0, 5 * units.MS, 313_131):
+        value = tsc.rdtsc(t)
+        assert value >= previous
+        previous = value
+
+
+def test_skewed_tsc_runs_off_nominal():
+    fast = TscCounter(skew=ConstantSkew(50.0))
+    slow = TscCounter(skew=ConstantSkew(-50.0))
+    t = 10 * units.MS
+    assert fast.rdtsc(t) > slow.rdtsc(t)
+
+
+def test_frequency_hz_reports_nominal():
+    tsc = TscCounter()
+    assert tsc.frequency_hz() == pytest.approx(TSC_FREQUENCY_HZ, rel=5e-6)

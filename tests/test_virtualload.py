@@ -1,0 +1,70 @@
+"""Unit tests for the fluid background-load model."""
+
+import random
+
+from repro.network.virtualload import (
+    VirtualBacklog,
+    heavy_backlog,
+    idle_backlog,
+    medium_backlog,
+)
+from repro.sim import units
+
+
+def test_idle_backlog_never_waits():
+    backlog = idle_backlog(random.Random(1))
+    for t in range(0, 10 * units.SEC, units.SEC):
+        assert backlog.wait_fs(t, 100) == 0
+
+
+def test_overload_rides_the_cap():
+    backlog = VirtualBacklog(rng=random.Random(2), offered_bps=15e9)
+    waits = [backlog.wait_fs(t * units.SEC, 100) for t in range(1, 50)]
+    cap_wait = backlog.cap_bytes * 8 / backlog.line_rate_bps * units.SEC
+    assert min(waits) > 0.5 * cap_wait
+
+
+def test_medium_load_sometimes_idle_sometimes_waiting():
+    backlog = medium_backlog(random.Random(3))
+    waits = [backlog.wait_fs(t * units.SEC, 100) for t in range(1, 400)]
+    zeros = sum(1 for w in waits if w < units.US)
+    busy = sum(1 for w in waits if w > 10 * units.US)
+    assert zeros > 0
+    assert busy > 0
+
+
+def test_heavy_waits_exceed_medium():
+    medium = medium_backlog(random.Random(4))
+    heavy = heavy_backlog(random.Random(4))
+    medium_waits = [medium.wait_fs(t * units.SEC, 100) for t in range(1, 200)]
+    heavy_waits = [heavy.wait_fs(t * units.SEC, 100) for t in range(1, 200)]
+    assert max(heavy_waits) > max(medium_waits)
+    assert sum(heavy_waits) > sum(medium_waits)
+
+
+def test_heavy_reaches_hundreds_of_microseconds():
+    """The Figure 6f scale: waits of hundreds of us."""
+    backlog = heavy_backlog(random.Random(5))
+    waits = [backlog.wait_fs(t * units.SEC, 100) for t in range(1, 300)]
+    assert max(waits) > 100 * units.US
+
+
+def test_correlation_smooths_consecutive_queries():
+    """Queries a few ms apart see nearly the same backlog."""
+    backlog = heavy_backlog(random.Random(6))
+    backlog.wait_fs(units.SEC, 100)
+    first = backlog.backlog_bytes
+    backlog.wait_fs(units.SEC + units.MS, 100)
+    assert abs(backlog.backlog_bytes - first) < 0.2 * backlog.cap_bytes + 200
+
+
+def test_packet_bytes_accumulate():
+    backlog = idle_backlog(random.Random(7))
+    backlog.wait_fs(0, 1000)
+    wait = backlog.wait_fs(1, 1000)  # 1 fs later: sees the first packet
+    assert wait > 0
+
+
+def test_rho_property():
+    backlog = VirtualBacklog(rng=random.Random(8), offered_bps=4e9)
+    assert backlog.rho == 0.4
