@@ -1,0 +1,313 @@
+"""Verbatim copies of the seed (pre-optimization) hot-path code.
+
+The perf benchmark measures the optimized simulation core against the
+implementation this repo seeded with, *in the same process on the same
+machine*, so the reported speedup is a property of the code, not of the
+host.  Everything here is a faithful copy of the seed revision:
+
+* ``SeedSimulator`` / ``SeedEvent`` — the Event-object heap engine whose
+  ``Event.__lt__`` dominated profiles (~1.46 M calls per 2 ms Fig. 6a run);
+* ``seed_oscillator_*`` — the always-bisect segment lookup without the
+  last-hit cache or the ``ticks_at`` memo;
+* ``seed_time_after_ticks`` — the O(ticks) edge-stepping loop;
+* ``seed_transmit_now`` / ``seed_arrive`` / ``seed_process`` — the DTP port
+  fast path with per-message ``Block66`` / ``DtpMessage`` object round-trips
+  and a dispatch dict rebuilt per received message;
+* ``seed_reconstruct_counter`` — the ``min(key=lambda...)`` form.
+
+``seed_implementation()`` patches them all in, so a whole experiment can
+be replayed on the seed core.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from contextlib import contextmanager
+from typing import Any, Callable, List, Optional
+
+from repro.clocks.clock import TickClock
+from repro.clocks.oscillator import Oscillator
+from repro.dtp import messages as dtpmsg
+from repro.dtp.port import DtpPort
+from repro.experiments import fig6_dtp
+from repro.phy.blocks import Block66, BlockError, embed_bits_in_idle, extract_bits_from_idle
+from repro.phy.pipeline import rx_process_time, tx_exit_time
+from repro.sim.engine import SimulationError
+
+
+# ----------------------------------------------------------------------
+# Seed engine
+# ----------------------------------------------------------------------
+class SeedEvent:
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "SeedEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class SeedSimulator:
+    """The seed event-queue engine (Event objects on the heap)."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[SeedEvent] = []
+        self._pending = 0
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return self._pending
+
+    def schedule(self, delay_fs: int, fn: Callable[..., Any], *args: Any) -> SeedEvent:
+        if delay_fs < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_fs})")
+        return self.schedule_at(self._now + delay_fs, fn, *args)
+
+    def schedule_at(self, time_fs: int, fn: Callable[..., Any], *args: Any) -> SeedEvent:
+        if time_fs < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_fs} fs; current time is {self._now} fs"
+            )
+        event = SeedEvent(time_fs, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        self._pending += 1
+        return event
+
+    def cancel(self, event: Optional[SeedEvent]) -> None:
+        if event is not None and not event.cancelled:
+            event.cancelled = True
+            self._pending -= 1
+
+    def step(self) -> bool:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._pending -= 1
+            self._now = event.time
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run_until(self, time_fs: int) -> None:
+        if time_fs < self._now:
+            raise SimulationError(
+                f"run_until({time_fs}) is in the past (now={self._now})"
+            )
+        while self._queue:
+            event = self._queue[0]
+            if event.time > time_fs:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._pending -= 1
+            self._now = event.time
+            event.fn(*event.args)
+        self._now = time_fs
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count
+
+
+# ----------------------------------------------------------------------
+# Seed oscillator / clock methods
+# ----------------------------------------------------------------------
+def seed_segment_for(self, t_fs):
+    if t_fs < self.origin_fs:
+        raise ValueError(
+            f"query at {t_fs} fs precedes oscillator origin {self.origin_fs} fs"
+        )
+    while self._segments[-1].end_fs <= t_fs:
+        self._append_next_segment()
+    index = bisect.bisect_right(self._starts, t_fs) - 1
+    return self._segments[index]
+
+
+def seed_ticks_at(self, t_fs):
+    return self._segment_for(t_fs).ticks_at(t_fs)
+
+
+def seed_time_of_tick(self, n):
+    if n < 1:
+        raise ValueError("tick index must be >= 1")
+    while self._segments[-1].start_count + self._segments[-1].edge_count < n:
+        self._append_next_segment()
+    lo, hi = 0, len(self._segments) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        seg = self._segments[mid]
+        if seg.start_count + seg.edge_count >= n:
+            hi = mid
+        else:
+            lo = mid + 1
+    segment = self._segments[lo]
+    k = n - segment.start_count - 1
+    return segment.first_edge_fs + k * segment.period_fs
+
+
+def seed_next_edge_after(self, t_fs):
+    segment = self._segment_for(max(t_fs, self.origin_fs))
+    while True:
+        edge = segment.next_edge_after(t_fs)
+        if edge is not None:
+            return edge
+        while self._segments[-1].end_fs <= segment.end_fs:
+            self._append_next_segment()
+        index = bisect.bisect_right(self._starts, segment.end_fs) - 1
+        segment = self._segments[index]
+
+
+def seed_time_after_ticks(self, t_fs, ticks):
+    if ticks <= 0:
+        return t_fs
+    t = t_fs
+    for _ in range(ticks):
+        t = self.oscillator.next_edge_after(t)
+    return t
+
+
+# ----------------------------------------------------------------------
+# Seed DTP port hot path
+# ----------------------------------------------------------------------
+def seed_reconstruct_counter(low, reference, bits=dtpmsg.COUNTER_LOW_BITS):
+    modulus = 1 << bits
+    base = (reference >> bits) << bits
+    candidates = (base - modulus + low, base + low, base + modulus + low)
+    return min(candidates, key=lambda value: abs(value - reference))
+
+
+def seed_schedule_transmit(self, mtype, payload_builder):
+    tick = self.osc.ticks_at(self.sim.now)
+    slot = self.traffic.next_idle_tick(max(tick + 1, self._last_tx_slot + 1))
+    self._last_tx_slot = slot
+    self.sim.schedule_at(
+        self.osc.time_of_tick(slot), self._transmit_now, mtype, payload_builder
+    )
+
+
+def seed_transmit_now(self, mtype, payload_builder):
+    from repro.dtp.port import PortState
+
+    if self.state is PortState.DOWN or self.peer is None:
+        return
+    now = self.sim.now
+    payload = payload_builder(now)
+    bits56 = dtpmsg.encode(dtpmsg.DtpMessage(mtype, payload))
+    self.stats.count_sent(mtype)
+    exit_fs = tx_exit_time(self.osc, now, self.config.latency)
+    arrival_fs = exit_fs + self.wire_delay_fs
+    wire_bits = embed_bits_in_idle(bits56).to_int()
+    if self.ber is not None:
+        wire_bits = self.ber.corrupt(wire_bits, 66)
+    self.sim.schedule_at(arrival_fs, self.peer._arrive, wire_bits)
+
+
+def seed_arrive(self, wire_bits):
+    from repro.dtp.port import PortState
+
+    if self.state is PortState.DOWN:
+        return
+    if wire_bits is None:
+        self.stats.lost_on_wire += 1
+        return
+    try:
+        block = Block66.from_int(wire_bits)
+        if not block.is_idle:
+            raise BlockError("not an idle block")
+        bits56 = extract_bits_from_idle(block)
+    except BlockError:
+        self.stats.lost_on_wire += 1
+        return
+    process_fs = rx_process_time(
+        self.sim.now, self.fifo, self.osc, self.config.latency
+    )
+    self.sim.schedule_at(process_fs, self._process, bits56)
+
+
+def seed_process(self, bits56):
+    from repro.dtp.port import PortState
+
+    if self.state is PortState.DOWN:
+        return
+    try:
+        message = dtpmsg.decode(bits56)
+    except dtpmsg.MessageError:
+        self.stats.rejected_undecodable += 1
+        return
+    self.stats.count_received(message.mtype)
+    now = self.sim.now
+    handler = {
+        dtpmsg.MessageType.INIT: self._on_init,
+        dtpmsg.MessageType.INIT_ACK: self._on_init_ack,
+        dtpmsg.MessageType.BEACON: self._on_beacon,
+        dtpmsg.MessageType.BEACON_JOIN: self._on_join,
+        dtpmsg.MessageType.BEACON_MSB: self._on_msb,
+        dtpmsg.MessageType.LOG: self._on_log_message,
+    }[message.mtype]
+    handler(message.payload, now)
+
+
+@contextmanager
+def seed_implementation():
+    """Patch the seed hot-path code back in, for apples-to-apples timing.
+
+    Patches the engine class used by the Fig. 6 experiment module plus the
+    oscillator/clock/port/message hot methods; restores everything on exit.
+    """
+    saved = {
+        "sim": fig6_dtp.Simulator,
+        "_segment_for": Oscillator._segment_for,
+        "ticks_at": Oscillator.ticks_at,
+        "time_of_tick": Oscillator.time_of_tick,
+        "next_edge_after": Oscillator.next_edge_after,
+        "time_after_ticks": TickClock.time_after_ticks,
+        "reconstruct_counter": dtpmsg.reconstruct_counter,
+        "_schedule_transmit": DtpPort._schedule_transmit,
+        "_transmit_now": DtpPort._transmit_now,
+        "_arrive": DtpPort._arrive,
+        "_process": DtpPort._process,
+    }
+    fig6_dtp.Simulator = SeedSimulator
+    Oscillator._segment_for = seed_segment_for
+    Oscillator.ticks_at = seed_ticks_at
+    Oscillator.time_of_tick = seed_time_of_tick
+    Oscillator.next_edge_after = seed_next_edge_after
+    TickClock.time_after_ticks = seed_time_after_ticks
+    dtpmsg.reconstruct_counter = seed_reconstruct_counter
+    DtpPort._schedule_transmit = seed_schedule_transmit
+    DtpPort._transmit_now = seed_transmit_now
+    DtpPort._arrive = seed_arrive
+    DtpPort._process = seed_process
+    try:
+        yield
+    finally:
+        fig6_dtp.Simulator = saved["sim"]
+        Oscillator._segment_for = saved["_segment_for"]
+        Oscillator.ticks_at = saved["ticks_at"]
+        Oscillator.time_of_tick = saved["time_of_tick"]
+        Oscillator.next_edge_after = saved["next_edge_after"]
+        TickClock.time_after_ticks = saved["time_after_ticks"]
+        dtpmsg.reconstruct_counter = saved["reconstruct_counter"]
+        DtpPort._schedule_transmit = saved["_schedule_transmit"]
+        DtpPort._transmit_now = saved["_transmit_now"]
+        DtpPort._arrive = saved["_arrive"]
+        DtpPort._process = saved["_process"]

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..dtp.daemon import DtpDaemon
-from ..network.packet import Host, Packet, PacketNetwork
+from ..network.packet import Packet, PacketNetwork
 from ..sim import units
 from ..sim.engine import Simulator
 

@@ -13,8 +13,8 @@ error eats the guard band.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from ..network.packet import Packet, PacketNetwork
 from ..sim import units

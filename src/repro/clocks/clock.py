@@ -9,7 +9,6 @@ paper Table 2) and can be adjusted, which is how DTP's
 
 from __future__ import annotations
 
-from typing import Optional
 
 from .oscillator import Oscillator
 
@@ -60,13 +59,16 @@ class TickClock:
         return self.oscillator.next_edge_after(t_fs)
 
     def time_after_ticks(self, t_fs: int, ticks: int) -> int:
-        """Time at which ``ticks`` more tick edges will have occurred."""
+        """Time at which ``ticks`` more tick edges will have occurred.
+
+        Equivalent to iterating ``next_edge_after`` ``ticks`` times (the
+        k-th iterate lands on edge number ``ticks_at(t_fs) + k``), but
+        O(log segments) instead of O(ticks).
+        """
         if ticks <= 0:
             return t_fs
-        t = t_fs
-        for _ in range(ticks):
-            t = self.oscillator.next_edge_after(t)
-        return t
+        osc = self.oscillator
+        return osc.time_of_tick(osc.ticks_at(t_fs) + ticks)
 
     def period_at(self, t_fs: int) -> int:
         """Current oscillator period in femtoseconds."""

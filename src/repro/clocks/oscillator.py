@@ -189,6 +189,24 @@ class Oscillator:
     returns the absolute time of the next edge.  Segments are generated
     lazily as simulation time advances and cached, so arbitrary (including
     backward) queries are supported.
+
+    Two hot-path caches keep repeated queries O(1):
+
+    * queries are near-monotonic in simulation time, so the last segment
+      hit is remembered and checked before falling back to bisect;
+    * ``ticks_at`` is typically called several times at the *same* time
+      (one event reads a clock more than once), so the last
+      ``(t, ticks)`` pair is memoized.
+
+    Both caches are pure memoization — results are bit-identical with or
+    without them.
+
+    ``prune_window_segments`` optionally bounds memory on long runs: once
+    more than that many segments exist, the oldest are dropped (keeping
+    at least the window).  Cumulative tick counts are carried in each
+    segment, so *forward* queries remain exact and deterministic; queries
+    before the pruned horizon raise :class:`ValueError`.  Leave it
+    ``None`` (the default) when backward queries are needed.
     """
 
     def __init__(
@@ -198,18 +216,28 @@ class Oscillator:
         update_interval_fs: int = units.MS,
         origin_fs: int = 0,
         name: str = "",
+        prune_window_segments: Optional[int] = None,
     ) -> None:
         if nominal_period_fs <= 0:
             raise ValueError("nominal_period_fs must be positive")
         if update_interval_fs < nominal_period_fs:
             raise ValueError("update_interval_fs must cover at least one period")
+        if prune_window_segments is not None and prune_window_segments < 2:
+            raise ValueError("prune_window_segments must be at least 2")
         self.nominal_period_fs = nominal_period_fs
         self.skew = skew if skew is not None else ConstantSkew(0.0)
         self.update_interval_fs = update_interval_fs
         self.origin_fs = origin_fs
         self.name = name
+        self.prune_window_segments = prune_window_segments
+        #: Times before this horizon have been pruned away (== origin when
+        #: nothing has been pruned yet).
+        self.pruned_before_fs = origin_fs
         self._segments: List[_Segment] = []
         self._starts: List[int] = []
+        self._last_hit: Optional[_Segment] = None
+        self._ticks_memo_t: Optional[int] = None
+        self._ticks_memo_n = 0
         self._append_first_segment()
 
     def _period_for(self, t_fs: int) -> int:
@@ -249,20 +277,58 @@ class Oscillator:
         )
         self._segments.append(segment)
         self._starts.append(segment.start_fs)
+        window = self.prune_window_segments
+        if window is not None and len(self._segments) > window:
+            drop = len(self._segments) - window
+            del self._segments[:drop]
+            del self._starts[:drop]
+            self.pruned_before_fs = self._segments[0].start_fs
+            self._last_hit = None
+            self._ticks_memo_t = None
 
     def _segment_for(self, t_fs: int) -> _Segment:
+        # Fast path: queries are near-monotonic in simulation time, so the
+        # last segment hit usually contains this query too.
+        hit = self._last_hit
+        if hit is not None and hit.start_fs <= t_fs < hit.end_fs:
+            return hit
         if t_fs < self.origin_fs:
             raise ValueError(
                 f"query at {t_fs} fs precedes oscillator origin {self.origin_fs} fs"
             )
-        while self._segments[-1].end_fs <= t_fs:
+        segments = self._segments
+        while segments[-1].end_fs <= t_fs:
             self._append_next_segment()
+        if t_fs < self._starts[0]:
+            raise ValueError(
+                f"query at {t_fs} fs precedes pruned horizon "
+                f"{self.pruned_before_fs} fs (prune_window_segments="
+                f"{self.prune_window_segments})"
+            )
         index = bisect.bisect_right(self._starts, t_fs) - 1
-        return self._segments[index]
+        segment = segments[index]
+        self._last_hit = segment
+        return segment
 
     def ticks_at(self, t_fs: int) -> int:
         """Number of tick edges in ``(origin, t_fs]``."""
-        return self._segment_for(t_fs).ticks_at(t_fs)
+        if t_fs == self._ticks_memo_t:
+            return self._ticks_memo_n
+        # The cached-segment arithmetic is inlined (rather than going
+        # through ``_segment_for`` + ``_Segment.ticks_at``): this is the
+        # single most-called method in the repo.
+        hit = self._last_hit
+        if hit is not None and hit.start_fs <= t_fs < hit.end_fs:
+            first_edge = hit.first_edge_fs
+            if t_fs < first_edge:
+                n = hit.start_count
+            else:
+                n = hit.start_count + (t_fs - first_edge) // hit.period_fs + 1
+        else:
+            n = self._segment_for(t_fs).ticks_at(t_fs)
+        self._ticks_memo_t = t_fs
+        self._ticks_memo_n = n
+        return n
 
     def time_of_tick(self, n: int) -> int:
         """Absolute time of the ``n``-th tick edge (``ticks_at`` of it is n).
@@ -272,8 +338,18 @@ class Oscillator:
         """
         if n < 1:
             raise ValueError("tick index must be >= 1")
+        # Fast path: tick indices, like time queries, arrive near-monotonically,
+        # so the last segment hit usually covers this index too.
+        hit = self._last_hit
+        if hit is not None and hit.start_count < n <= hit.start_count + hit.edge_count:
+            return hit.first_edge_fs + (n - hit.start_count - 1) * hit.period_fs
         while self._segments[-1].start_count + self._segments[-1].edge_count < n:
             self._append_next_segment()
+        if n <= self._segments[0].start_count:
+            raise ValueError(
+                f"tick {n} precedes pruned horizon {self.pruned_before_fs} fs "
+                f"(prune_window_segments={self.prune_window_segments})"
+            )
         lo, hi = 0, len(self._segments) - 1
         while lo < hi:
             mid = (lo + hi) // 2
@@ -283,11 +359,23 @@ class Oscillator:
             else:
                 lo = mid + 1
         segment = self._segments[lo]
+        self._last_hit = segment
         k = n - segment.start_count - 1
         return segment.first_edge_fs + k * segment.period_fs
 
     def next_edge_after(self, t_fs: int) -> int:
         """Absolute time of the first tick edge strictly after ``t_fs``."""
+        # Fast path on the cached segment; falls through when the next
+        # edge lies in a later segment.
+        hit = self._last_hit
+        if hit is not None and hit.start_fs <= t_fs < hit.end_fs:
+            if t_fs < hit.first_edge_fs:
+                if hit.edge_count:
+                    return hit.first_edge_fs
+            else:
+                k = (t_fs - hit.first_edge_fs) // hit.period_fs + 1
+                if k < hit.edge_count:
+                    return hit.first_edge_fs + k * hit.period_fs
         segment = self._segment_for(max(t_fs, self.origin_fs))
         while True:
             edge = segment.next_edge_after(t_fs)
@@ -297,6 +385,25 @@ class Oscillator:
                 self._append_next_segment()
             index = bisect.bisect_right(self._starts, segment.end_fs) - 1
             segment = self._segments[index]
+
+    def edge_index_after(self, t_fs: int) -> int:
+        """Tick index of the first edge strictly after ``t_fs``.
+
+        ``time_of_tick(edge_index_after(t)) == next_edge_after(t)``, and
+        advancing ``k`` edges from there is just ``+ k`` — which lets the
+        CDC hot path do its quantize-and-advance in index arithmetic
+        instead of repeated time queries.
+        """
+        hit = self._last_hit
+        if hit is not None and hit.start_fs <= t_fs < hit.end_fs:
+            if t_fs < hit.first_edge_fs:
+                if hit.edge_count:
+                    return hit.start_count + 1
+            else:
+                k = (t_fs - hit.first_edge_fs) // hit.period_fs + 1
+                if k < hit.edge_count:
+                    return hit.start_count + k + 1
+        return self.ticks_at(self.next_edge_after(t_fs))
 
     def period_at(self, t_fs: int) -> int:
         """The (integer) period in effect at time ``t_fs``."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Deque, List, Optional
 
 from ..clocks.tsc import TscCounter
 from ..sim import units

@@ -12,7 +12,7 @@ valid everywhere, losing only the daemon's read error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from ..sim import units
 from ..sim.engine import Simulator

@@ -8,7 +8,7 @@ build those scenarios on top of :class:`~repro.dtp.network.DtpNetwork`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..clocks.oscillator import ConstantSkew, SkewModel
 from ..sim import units

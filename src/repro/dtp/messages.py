@@ -52,6 +52,19 @@ class MessageError(ValueError):
     """Raised on undecodable DTP messages."""
 
 
+#: Precomputed decode table: 3-bit type code -> MessageType (or None for the
+#: two unassigned codes).  Avoids the enum-constructor try/except on the
+#: per-message hot path.
+TYPE_TABLE = tuple(
+    MessageType(code) if code in MessageType._value2member_map_ else None
+    for code in range(1 << TYPE_BITS)
+)
+
+#: Precomputed encode table: MessageType -> type code already shifted into
+#: position, so encoding is a single OR.
+SHIFTED_TYPE = {mtype: int(mtype) << PAYLOAD_BITS for mtype in MessageType}
+
+
 @dataclass(frozen=True)
 class DtpMessage:
     """A decoded DTP message."""
@@ -76,14 +89,21 @@ def decode(bits56: int) -> DtpMessage:
     corrupted type field surfaces to the port logic (the message is
     dropped, exactly like a corrupted Ethernet frame would be).
     """
+    mtype, payload = decode_type_payload(bits56)
+    return DtpMessage(mtype=mtype, payload=payload)
+
+
+def decode_type_payload(bits56: int) -> "tuple[MessageType, int]":
+    """Hot-path decode: ``(mtype, payload)`` without a DtpMessage object.
+
+    Same validation and failure modes as :func:`decode`.
+    """
     if not 0 <= bits56 < (1 << MESSAGE_BITS):
         raise MessageError("DTP message must fit in 56 bits")
-    type_code = bits56 >> PAYLOAD_BITS
-    try:
-        mtype = MessageType(type_code)
-    except ValueError:
-        raise MessageError(f"unknown message type code {type_code}") from None
-    return DtpMessage(mtype=mtype, payload=bits56 & PAYLOAD_MASK)
+    mtype = TYPE_TABLE[bits56 >> PAYLOAD_BITS]
+    if mtype is None:
+        raise MessageError(f"unknown message type code {bits56 >> PAYLOAD_BITS}")
+    return mtype, bits56 & PAYLOAD_MASK
 
 
 # ----------------------------------------------------------------------
@@ -106,9 +126,17 @@ def reconstruct_counter(low: int, reference: int, bits: int = COUNTER_LOW_BITS) 
     is always unambiguous.
     """
     modulus = 1 << bits
-    base = (reference >> bits) << bits
-    candidates = (base - modulus + low, base + low, base + modulus + low)
-    return min(candidates, key=lambda value: abs(value - reference))
+    value = ((reference >> bits) << bits) + low
+    # Branch-free-of-min() form of "candidate closest to the reference
+    # among value-modulus, value, value+modulus" with ties resolved
+    # toward the smaller candidate (the order min() scanned them in).
+    delta = value - reference  # in (-modulus, modulus)
+    half = modulus >> 1
+    if delta >= half:
+        return value - modulus
+    if delta < -half:
+        return value + modulus
+    return value
 
 
 def payload_with_parity(counter: int) -> int:

@@ -11,8 +11,8 @@ single cosmic-ray flip doesn't page anyone.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from ..sim import units
 from .analysis import DIRECT_BOUND_TICKS

@@ -14,7 +14,7 @@ offers both measurement channels the paper uses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..clocks.oscillator import (

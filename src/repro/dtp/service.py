@@ -15,7 +15,6 @@ application wants:
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
 from ..clocks.oscillator import ConstantSkew, SkewModel

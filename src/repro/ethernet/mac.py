@@ -10,7 +10,7 @@ polynomial 0x04C11DB7) implemented from scratch below.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from .frames import MIN_FRAME_BYTES

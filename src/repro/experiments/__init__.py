@@ -14,6 +14,7 @@ from . import (
     fig7_daemon,
     hybrid_sync,
     overhead,
+    parallel,
     stability,
     sweeps,
     table1,
@@ -46,6 +47,7 @@ __all__ = [
     "histogram",
     "hybrid_sync",
     "overhead",
+    "parallel",
     "stability",
     "sweeps",
     "table1",

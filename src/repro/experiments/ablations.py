@@ -17,18 +17,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..clocks.oscillator import ConstantSkew
 from ..dtp.network import DtpNetwork
 from ..dtp.port import DtpPortConfig
 from ..network.link import Cable
-from ..network.topology import Topology, chain, star
+from ..network.topology import Topology, chain
 from ..sim import units
 from ..sim.engine import Simulator
 from ..sim.randomness import RandomStreams
 from .harness import ExperimentResult
+from .parallel import ExperimentTask, run_tasks
 
 
 def _two_node_net(
@@ -254,11 +254,24 @@ def run_asymmetry_ablation(
     return result
 
 
-def run_all_ablations(seed: int = 15) -> List[ExperimentResult]:
-    return [
-        run_alpha_sweep(seed=seed),
-        run_beacon_interval_sweep(seed=seed + 1),
-        run_cdc_ablation(seed=seed + 2),
-        run_bit_error_ablation(seed=seed + 3),
-        run_asymmetry_ablation(seed=seed + 4),
-    ]
+def run_all_ablations(
+    seed: int = 15, jobs: Optional[int] = 1
+) -> List[ExperimentResult]:
+    """Run every ablation; ``jobs`` fans the independent arms across
+    worker processes (``None`` = one per CPU) with identical results."""
+    return run_tasks(
+        [
+            ExperimentTask("alpha", run_alpha_sweep, kwargs={"seed": seed}),
+            ExperimentTask(
+                "beacon-interval", run_beacon_interval_sweep, kwargs={"seed": seed + 1}
+            ),
+            ExperimentTask("cdc", run_cdc_ablation, kwargs={"seed": seed + 2}),
+            ExperimentTask(
+                "bit-errors", run_bit_error_ablation, kwargs={"seed": seed + 3}
+            ),
+            ExperimentTask(
+                "asymmetry", run_asymmetry_ablation, kwargs={"seed": seed + 4}
+            ),
+        ],
+        jobs=jobs,
+    )

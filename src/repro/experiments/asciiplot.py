@@ -7,7 +7,7 @@ be eyeballed against the paper without matplotlib.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 from .harness import TimeSeries
 

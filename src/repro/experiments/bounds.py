@@ -12,7 +12,7 @@ Two experiments:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from ..dtp.analysis import network_bound_ticks
 from ..dtp.network import DtpNetwork

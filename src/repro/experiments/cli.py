@@ -2,12 +2,16 @@
 
 Usage::
 
-    dtp-repro fig6a            # DTP under MTU load
-    dtp-repro fig6f --quick    # PTP heavy load, shortened run
-    dtp-repro all --quick      # everything
+    dtp-repro fig6a                 # DTP under MTU load
+    dtp-repro fig6f --quick         # PTP heavy load, shortened run
+    dtp-repro fig6 --jobs 0 --quick # all six Fig. 6 panels, one CPU each
+    dtp-repro all --quick -j 4      # everything, four worker processes
 
 Each command prints the experiment's series statistics and summary — the
 same rows/series the paper reports (shape, not absolute testbed numbers).
+``--jobs`` fans the independent experiments of a group command (``all``,
+``fig6``) across worker processes; outputs are printed in the same
+deterministic order a serial run produces.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from .asciiplot import render_series
 from .fig6_dtp import Fig6DtpConfig
 from .fig6_ptp import Fig6PtpConfig
 from .fig7_daemon import Fig7Config
+from .parallel import ExperimentTask, run_tasks
 
 #: Set by main() from --plot; series-producing commands render ASCII
 #: scatter plots of the same shapes the paper's figures show.
@@ -215,6 +220,22 @@ COMMANDS = {
     "report": _run_report,
 }
 
+#: Group commands that expand to several independent experiments; these
+#: are what ``--jobs`` parallelizes.
+GROUPS = {
+    # 'report' re-runs the core set itself; skip it under 'all'.
+    "all": sorted(name for name in COMMANDS if name != "report"),
+    "fig6": ["fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f"],
+}
+
+
+def _run_command_worker(name: str, quick: bool, plot: bool, csv_dir) -> List[str]:
+    """Top-level (picklable) entry point for worker processes."""
+    global PLOT, CSV_DIR
+    PLOT = plot
+    CSV_DIR = csv_dir
+    return COMMANDS[name](quick)
+
 
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -223,7 +244,7 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all"],
+        choices=sorted(COMMANDS) + sorted(GROUPS),
         help="which table/figure to regenerate",
     )
     parser.add_argument(
@@ -237,18 +258,31 @@ def main(argv: List[str] = None) -> int:
         "--csv", metavar="DIR", default=None,
         help="also dump measured series as CSV files into DIR",
     )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for group commands (0 = one per CPU; "
+        "results are identical to a serial run)",
+    )
     args = parser.parse_args(argv)
     global PLOT, CSV_DIR
     PLOT = args.plot
     CSV_DIR = args.csv
 
-    if args.experiment == "all":
-        # 'report' re-runs the core set itself; skip it under 'all'.
-        names = sorted(name for name in COMMANDS if name != "report")
-    else:
-        names = [args.experiment]
-    for name in names:
-        for block in COMMANDS[name](args.quick):
+    names = GROUPS.get(args.experiment, [args.experiment])
+    jobs = None if args.jobs == 0 else args.jobs
+    outputs = run_tasks(
+        [
+            ExperimentTask(
+                name=name,
+                fn=_run_command_worker,
+                args=(name, args.quick, args.plot, args.csv),
+            )
+            for name in names
+        ],
+        jobs=jobs,
+    )
+    for blocks in outputs:
+        for block in blocks:
             print(block)
             print()
     return 0

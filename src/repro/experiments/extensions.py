@@ -8,7 +8,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List
 
 from ..clocks.clock import AdjustableFrequencyClock
@@ -24,7 +23,7 @@ from ..ptp.slave import PtpSlave
 from ..sim import units
 from ..sim.engine import Simulator
 from ..sim.randomness import RandomStreams
-from .harness import ExperimentResult, TimeSeries
+from .harness import ExperimentResult
 
 
 def run_boundary_cascade(

@@ -10,7 +10,7 @@ DESIGN.md.  The heavy run spares one host's links (the paper spared S11).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from ..ptp.network import PtpConfig, PtpDeployment
 from ..network.topology import star

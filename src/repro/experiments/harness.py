@@ -8,7 +8,7 @@ the text table/rows the benchmark harness prints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from ..sim import units
 

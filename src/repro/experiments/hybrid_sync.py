@@ -9,7 +9,6 @@ nothing and the residual is just the daemons' read error.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from ..clocks.oscillator import ConstantSkew
 from ..clocks.tsc import TscCounter

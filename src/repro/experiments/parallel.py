@@ -1,0 +1,96 @@
+"""Parallel experiment harness: fan independent runs across processes.
+
+Every experiment in this repo is a pure function of its arguments — each
+run builds its own :class:`~repro.sim.engine.Simulator` and seeds its own
+:class:`~repro.sim.randomness.RandomStreams` — so independent configs
+(sweep cells, ablation arms, the six Fig. 6 panels) can execute in
+separate worker processes with **exactly** the results a serial run
+produces, in the submission order, regardless of worker count or
+completion order.
+
+Two rules keep parallel runs reproducible:
+
+* a task's callable and arguments must be picklable module-level objects
+  (no lambdas, no open simulators) and must not read mutable globals;
+* every task carries its randomness explicitly (a ``seed`` argument).
+  For families of related runs, :func:`derive_seed` maps a stable task
+  name to a well-mixed 63-bit seed, so adding or reordering tasks never
+  shifts the seed of any other task.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def derive_seed(base_seed: int, task_name: str) -> int:
+    """A deterministic, well-mixed 63-bit seed for a named task.
+
+    Stable across processes and Python versions (unlike ``hash``), and
+    independent of task order: ``derive_seed(7, "sweep/ber=1e-9")`` is the
+    same value forever.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{task_name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def replicate_seeds(base_seed: int, names: Sequence[str]) -> Dict[str, int]:
+    """Per-name seeds for a family of replicated runs."""
+    return {name: derive_seed(base_seed, name) for name in names}
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One unit of work: ``fn(*args, **kwargs)`` in a worker process."""
+
+    name: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+def _invoke(task: ExperimentTask) -> Any:
+    return task.fn(*task.args, **task.kwargs)
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not specify one."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_tasks(
+    tasks: Sequence[ExperimentTask],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Run ``tasks`` and return their results **in task order**.
+
+    ``jobs=None`` uses one worker per CPU; ``jobs<=1`` (or a single task)
+    runs serially in-process, which is byte-for-byte equivalent — the
+    parallel path only changes wall time, never results.
+    """
+    tasks = list(tasks)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_invoke(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Executor.map preserves submission order; chunksize 1 keeps the
+        # longest task from serializing a whole chunk behind it.
+        return list(pool.map(_invoke, tasks, chunksize=1))
+
+
+def run_named_tasks(
+    tasks: Sequence[ExperimentTask],
+    jobs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Like :func:`run_tasks` but keyed by task name (names must be unique)."""
+    names = [task.name for task in tasks]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate task names: {sorted(names)}")
+    results = run_tasks(tasks, jobs=jobs)
+    return dict(zip(names, results))

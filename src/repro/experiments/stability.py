@@ -9,8 +9,6 @@ with window length as queueing noise wanders the servo around.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
 
 from ..dtp.network import DtpNetwork
 from ..metrics import allan_deviation_curve, mtie_curve

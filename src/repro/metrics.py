@@ -16,7 +16,7 @@ any consistent unit) with sampling interval ``tau0``.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 
 class MetricsError(ValueError):

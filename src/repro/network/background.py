@@ -15,7 +15,7 @@ from typing import List, Optional
 
 from ..sim import units
 from ..sim.engine import Simulator
-from .packet import DEFAULT_RATE_BPS, PacketNetwork
+from .packet import PacketNetwork
 
 MTU_UDP_BYTES = 1470  # payload of an MTU-sized UDP datagram + headers ~ 1512 B wire
 MTU_PACKET_BYTES = 1512

@@ -8,7 +8,7 @@ whose delay is similar (~4.3-5 ns/m); we use 5 ns/m for both media.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..sim import units
 

@@ -9,7 +9,7 @@ six-hop diameter motivates the 153.6 ns headline number.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .link import Cable

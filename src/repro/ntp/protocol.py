@@ -15,9 +15,8 @@ is why NTP bottoms out at tens of microseconds in a LAN.
 from __future__ import annotations
 
 import random
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import List, Optional
 
 from ..clocks.clock import AdjustableFrequencyClock
 from ..network.packet import Host, Packet, PacketNetwork

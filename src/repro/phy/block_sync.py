@@ -14,8 +14,8 @@ lock/slip behaviour is testable against bit-slipped and noisy streams.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List
 
 SYNC_VALID = (0b01, 0b10)
 

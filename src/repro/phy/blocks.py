@@ -33,6 +33,18 @@ CONTROL_CHARS_PER_BLOCK = 8
 #: Bits available to DTP inside one idle block.
 IDLE_PAYLOAD_BITS = 7 * CONTROL_CHARS_PER_BLOCK  # 56
 
+IDLE_PAYLOAD_MASK = (1 << IDLE_PAYLOAD_BITS) - 1
+
+#: A 66-bit idle /E/ block with zeroed control characters, as an int.
+#: ``IDLE_WIRE_BASE | bits56`` is the wire image of a DTP message — the
+#: hot-path equivalent of ``embed_bits_in_idle(bits56).to_int()``.
+IDLE_WIRE_BASE = (SYNC_CONTROL << 64) | (BLOCK_TYPE_IDLE << 56)
+
+#: Mask selecting the sync header and block-type octet of a 66-bit int.
+#: A received block is a well-formed idle block iff
+#: ``wire_bits & IDLE_WIRE_HEADER_MASK == IDLE_WIRE_BASE``.
+IDLE_WIRE_HEADER_MASK = (0b11 << 64) | (0xFF << 56)
+
 
 class BlockError(ValueError):
     """Raised on malformed 66-bit blocks."""

@@ -23,13 +23,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
-from .encoding_8b10b import (
-    Decoder8b10b,
-    Encoder8b10b,
-    Encoding8b10bError,
-    K28_1,
-    K28_5,
-)
+from .encoding_8b10b import Decoder8b10b, Encoder8b10b, K28_1, K28_5
 
 #: Octets of the standard idle ordered sets.
 I1_SET = (K28_5, 0xC5)  # K28.5 D5.6

@@ -21,18 +21,9 @@ Block formats implemented (IEEE 802.3 Clause 49, figure 49-7):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
-from .blocks import (
-    BLOCK_TYPE_IDLE,
-    Block66,
-    BlockError,
-    SYNC_CONTROL,
-    SYNC_DATA,
-    embed_bits_in_idle,
-    extract_bits_from_idle,
-    idle_block,
-)
+from .blocks import BLOCK_TYPE_IDLE, Block66, SYNC_CONTROL, SYNC_DATA, embed_bits_in_idle, extract_bits_from_idle, idle_block
 
 BLOCK_TYPE_START = 0x78
 #: TERMINATE block types indexed by the number of data octets they carry.

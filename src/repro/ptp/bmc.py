@@ -11,7 +11,7 @@ master clock algorithm").
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..clocks.clock import AdjustableFrequencyClock

@@ -16,7 +16,7 @@ with hierarchy depth.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import List
 
 from ..clocks.clock import AdjustableFrequencyClock
 from ..network.packet import PacketNetwork

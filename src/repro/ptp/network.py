@@ -18,12 +18,7 @@ from ..clocks.clock import AdjustableFrequencyClock
 from ..clocks.oscillator import Oscillator, RandomWalkSkew
 from ..network.packet import PacketNetwork, Switch
 from ..network.topology import Topology
-from ..network.virtualload import (
-    VirtualBacklog,
-    heavy_backlog,
-    idle_backlog,
-    medium_backlog,
-)
+from ..network.virtualload import heavy_backlog, idle_backlog, medium_backlog
 from ..phy.specs import PHY_10G
 from ..sim import units
 from ..sim.engine import Simulator

@@ -17,7 +17,7 @@ load sensitivity lives in ``ms``/``sm`` asymmetry: queueing the TC did not
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..clocks.clock import AdjustableFrequencyClock

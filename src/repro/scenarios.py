@@ -13,8 +13,8 @@ one line::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict
 
 from .clocks.oscillator import ConstantSkew
 from .dtp.network import DtpNetwork

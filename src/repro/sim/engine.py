@@ -9,12 +9,30 @@ The engine is a classic event-queue simulator:
 
 The engine knows nothing about networks or clocks; everything above it is
 built from plain callbacks.
+
+Performance notes (this module is the hottest loop in the repo):
+
+* The heap holds plain ``(time, seq, fn, args, event)`` tuples, so
+  :mod:`heapq` sift operations compare C-level ints instead of calling
+  ``Event.__lt__``.  ``seq`` is unique per event, so a comparison never
+  reaches the third element, and dispatch reads the callback straight
+  from the tuple instead of through two attribute loads.
+* ``run_until`` binds the queue, ``heappop`` and the dispatch loop state
+  to locals; attribute lookups in the loop are kept to the event being
+  dispatched.
+* Cancelled events stay in the heap (lazy deletion) but are counted;
+  when they outnumber the live entries the heap is compacted in one
+  O(n) ``heapify`` pass, so cancel-heavy workloads (e.g. beacon
+  timeouts rescheduled every interval) cannot bloat the queue.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Compact the heap only past this size; below it bloat is irrelevant.
+_COMPACT_MIN_QUEUE = 64
 
 
 class SimulationError(RuntimeError):
@@ -46,15 +64,30 @@ class Event:
         return f"<Event t={self.time} seq={self.seq} {state} {self.fn!r}>"
 
 
+class _Uncancellable:
+    """Shared cancel-state placeholder for fire-and-forget events.
+
+    ``post_at`` entries carry this singleton where cancellable entries
+    carry their :class:`Event`, so the dispatch loop's ``cancelled``
+    check works uniformly without allocating a handle per event.
+    """
+
+    __slots__ = ()
+    cancelled = False
+
+
+_UNCANCELLABLE = _Uncancellable()
+
+
 class Simulator:
     """Event-driven simulator with femtosecond-resolution integer time."""
 
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[int, int, Callable[..., Any], tuple, Event]] = []
         self._pending = 0
-        self._running = False
+        self._cancelled_in_queue = 0
 
     @property
     def now(self) -> int:
@@ -70,7 +103,13 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay_fs`` femtoseconds from now."""
         if delay_fs < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay_fs})")
-        return self.schedule_at(self._now + delay_fs, fn, *args)
+        time_fs = self._now + delay_fs
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time_fs, seq, fn, args)
+        heapq.heappush(self._queue, (time_fs, seq, fn, args, event))
+        self._pending += 1
+        return event
 
     def schedule_at(self, time_fs: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time_fs``."""
@@ -78,27 +117,65 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time_fs} fs; current time is {self._now} fs"
             )
-        event = Event(time_fs, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time_fs, seq, fn, args)
+        heapq.heappush(self._queue, (time_fs, seq, fn, args, event))
         self._pending += 1
         return event
+
+    def post_at(self, time_fs: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no cancel handle is created.
+
+        Ordering is identical to :meth:`schedule_at` (the event consumes a
+        ``seq`` the same way); the only difference is that the event cannot
+        be cancelled, which lets hot paths skip one object allocation per
+        message.
+        """
+        if time_fs < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_fs} fs; current time is {self._now} fs"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time_fs, seq, fn, args, _UNCANCELLABLE))
+        self._pending += 1
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel a previously scheduled event (idempotent, ``None``-safe)."""
         if event is not None and not event.cancelled:
             event.cancelled = True
             self._pending -= 1
+            self._cancelled_in_queue += 1
+            queue = self._queue
+            if (
+                len(queue) > _COMPACT_MIN_QUEUE
+                and self._cancelled_in_queue * 2 > len(queue)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (deterministic: seq is a
+        total order, so the rebuilt heap pops in exactly the same sequence
+        the lazy-deletion heap would have).  Mutates the list in place:
+        ``run_until`` holds a local reference to it across callbacks."""
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[4].cancelled]
+        heapq.heapify(queue)
+        self._cancelled_in_queue = 0
 
     def step(self) -> bool:
         """Run the single next event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            time_fs, _seq, fn, args, event = pop(queue)
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self._pending -= 1
-            self._now = event.time
-            event.fn(*event.args)
+            self._now = time_fs
+            fn(*args)
             return True
         return False
 
@@ -112,16 +189,20 @@ class Simulator:
             raise SimulationError(
                 f"run_until({time_fs}) is in the past (now={self._now})"
             )
-        while self._queue:
-            event = self._queue[0]
-            if event.time > time_fs:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            entry = queue[0]
+            when = entry[0]
+            if when > time_fs:
                 break
-            heapq.heappop(self._queue)
-            if event.cancelled:
+            pop(queue)
+            if entry[4].cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self._pending -= 1
-            self._now = event.time
-            event.fn(*event.args)
+            self._now = when
+            entry[2](*entry[3])
         self._now = time_fs
 
     def run(self, max_events: Optional[int] = None) -> int:

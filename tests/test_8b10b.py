@@ -6,14 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.phy.encoding_8b10b import (
-    COMMA_CODES,
-    Decoder8b10b,
-    Encoder8b10b,
-    Encoding8b10bError,
-    K28_1,
-    K28_5,
-)
+from repro.phy.encoding_8b10b import COMMA_CODES, Decoder8b10b, Encoder8b10b, Encoding8b10bError, K28_5
 
 
 @pytest.fixture(scope="module")

@@ -1,8 +1,6 @@
 """Tests for block synchronization and the parameter sweeps."""
 
-import random
 
-import pytest
 
 from repro.experiments.sweeps import sweep_beacon_vs_skew, sweep_ber, sweep_cable_length
 from repro.phy.block_sync import (

@@ -13,7 +13,6 @@ from repro.dtp.network import DtpNetwork
 from repro.dtp.port import DtpPortConfig
 from repro.network.topology import chain
 from repro.sim import units
-from repro.sim.randomness import RandomStreams
 
 WRAP = 1 << COUNTER_LOW_BITS
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.phy.blocks import extract_bits_from_idle, idle_block
+from repro.phy.blocks import idle_block
 from repro.phy.dtp_1g import (
     Dtp1GError,
     SETS_PER_MESSAGE,

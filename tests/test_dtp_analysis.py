@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dtp import analysis
-from repro.phy.specs import PHY_10G, PHY_100G
+from repro.phy.specs import PHY_100G
 
 
 def test_direct_bound_is_25_6_ns():

@@ -1,6 +1,5 @@
 """Unit tests for DtpDevice (Algorithm 2)."""
 
-import pytest
 
 from repro.clocks.oscillator import ConstantSkew, Oscillator
 from repro.dtp.device import DtpDevice

@@ -1,15 +1,11 @@
 """Integration tests for DTP networks: multi-hop, dynamics, failures."""
 
-import pytest
 
 from repro.clocks.oscillator import ConstantSkew
 from repro.dtp.faults import schedule_partition
 from repro.dtp.network import DtpNetwork
-from repro.dtp.port import DtpPortConfig
 from repro.network.topology import chain, paper_testbed, star, two_level_tree
 from repro.sim import units
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
 
 
 def worst_offset_over(net, sim, start_fs, end_fs, step_fs=20 * units.US, nodes=None):

@@ -9,8 +9,6 @@ from repro.dtp.port import DtpPort, DtpPortConfig, PortState
 from repro.ethernet.frames import MTU_FRAME
 from repro.ethernet.traffic import SaturatedTraffic
 from repro.sim import units
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
 
 TICK = units.TICK_10G_FS
 CABLE_FS = 8 * TICK  # default 10.24 m

@@ -9,8 +9,6 @@ from repro.dtp.port import DtpPortConfig
 from repro.dtp.service import DtpClockService
 from repro.network.topology import chain, paper_testbed
 from repro.sim import units
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
 
 
 @pytest.fixture

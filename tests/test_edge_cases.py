@@ -7,14 +7,12 @@ from repro.dtp import messages as dtpmsg
 from repro.dtp.device import DtpDevice
 from repro.dtp.external import UtcBroadcast, UtcSlave
 from repro.dtp.network import DtpNetwork
-from repro.dtp.port import DtpPort, DtpPortConfig, PortState
+from repro.dtp.port import DtpPort, PortState
 from repro.ethernet.frames import MTU_FRAME
 from repro.ethernet.traffic import SaturatedTraffic
 from repro.network.topology import chain, star
 from repro.phy.pipeline import advance_ticks
 from repro.sim import units
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
 
 TICK = units.TICK_10G_FS
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.network.packet import PacketNetwork
 from repro.network.topology import star
-from repro.sim import units
 
 
 def oversubscribe(net, sim, packets=120):

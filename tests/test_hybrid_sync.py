@@ -13,8 +13,6 @@ from repro.network.packet import PacketNetwork
 from repro.network.topology import star
 from repro.network.virtualload import heavy_backlog
 from repro.sim import units
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
 
 
 @pytest.fixture

@@ -11,7 +11,6 @@ from repro.dtp.network import DtpNetwork
 from repro.network.topology import chain, star, two_level_tree
 from repro.phy.specs import COMMON_COUNTER_UNIT_FS, PHY_1G, PHY_10G, PHY_40G, PHY_100G
 from repro.sim import units
-from repro.sim.randomness import RandomStreams
 
 
 def worst_offset(net, sim, duration_fs, warmup_fs=units.MS):

@@ -1,6 +1,5 @@
 """Tests for the bound monitor and packet-network conservation laws."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,7 +11,6 @@ from repro.network.packet import PacketNetwork
 from repro.network.topology import chain, paper_testbed, star
 from repro.sim import units
 from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
 
 
 class TestBoundMonitor:

@@ -19,7 +19,6 @@ from repro.network.packet import PacketNetwork
 from repro.network.topology import chain, star
 from repro.phy.specs import PHY_10G
 from repro.sim import units
-from repro.sim.randomness import RandomStreams
 
 
 class TestOverhead:

@@ -1,6 +1,5 @@
 """Unit tests for the PTP best-master-clock algorithm and boundary clocks."""
 
-import pytest
 
 from repro.clocks.clock import AdjustableFrequencyClock
 from repro.clocks.oscillator import ConstantSkew, Oscillator
@@ -12,8 +11,6 @@ from repro.ptp.boundary import BoundaryClock
 from repro.ptp.master import PtpMaster
 from repro.ptp.slave import PtpSlave
 from repro.sim import units
-from repro.sim.engine import Simulator
-from repro.sim.randomness import RandomStreams
 
 
 def make_clock(ppm: float) -> AdjustableFrequencyClock:

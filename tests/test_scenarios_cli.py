@@ -13,7 +13,6 @@ from repro.gps.receiver import GpsReceiver
 from repro.network.topology import chain
 from repro.scenarios import SCENARIOS, build
 from repro.sim import units
-from repro.sim.randomness import RandomStreams
 
 
 class TestScenarios:

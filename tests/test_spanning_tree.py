@@ -5,9 +5,8 @@ import pytest
 from repro.clocks.oscillator import ConstantSkew, Oscillator
 from repro.dtp.network import DtpNetwork
 from repro.dtp.spanning_tree import FollowerClock, configure_spanning_tree
-from repro.network.topology import Topology, chain, two_level_tree
+from repro.network.topology import chain, two_level_tree
 from repro.sim import units
-from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 
 TICK = units.TICK_10G_FS

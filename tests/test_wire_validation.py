@@ -13,12 +13,11 @@ channel, block-locked, deserialized, descrambled and decoded.  The checks:
 
 import random
 
-import pytest
 
 from repro.dtp.messages import DtpMessage, MessageType, encode
 from repro.ethernet.mac import MacFrame, address
-from repro.phy.block_sync import BlockSync, blocks_to_bitstream, headers_from_bitstream
-from repro.phy.blocks import Block66, extract_bits_from_idle, idle_block
+from repro.phy.block_sync import BlockSync, blocks_to_bitstream
+from repro.phy.blocks import Block66, extract_bits_from_idle
 from repro.phy.pcs_stream import PcsTransmitStream, receive_stream
 from repro.phy.scrambler import Scrambler
 
