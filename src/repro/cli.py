@@ -1,0 +1,29 @@
+"""The ``repro`` umbrella command.
+
+``repro faultlab ...`` dispatches to the fault-campaign CLI
+(:mod:`repro.faultlab.cli`); anything else goes to the experiment driver
+(:mod:`repro.experiments.cli`), so ``repro fig6a --quick`` keeps working
+exactly like ``dtp-repro fig6a --quick``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "faultlab":
+        from .faultlab.cli import main as faultlab_main
+
+        return faultlab_main(argv[1:])
+    from .experiments.cli import main as experiments_main
+
+    return experiments_main(argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

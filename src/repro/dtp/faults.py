@@ -1,9 +1,14 @@
 """Fault-injection scenarios for DTP (paper Sections 3.2 and 5.4).
 
-The protocol must survive: bit errors on the wire (handled by the reject
-threshold and parity), network partitions (BEACON_JOIN re-merges subnets),
-and out-of-spec oscillators (the jump-rate fault detector).  These helpers
-build those scenarios on top of :class:`~repro.dtp.network.DtpNetwork`.
+The fault library proper lives in :mod:`repro.faultlab.faults` — composable,
+seed-reproducible models with campaign and invariant-checker integration.
+This module keeps the original convenience entry points as thin shims over
+it (plus the pure helpers that never moved), so existing experiments and
+tests keep working unchanged.
+
+The faultlab imports are deferred into function bodies: ``repro.dtp``
+imports this module while its own package initialization is still in
+flight, and ``repro.faultlab`` imports ``repro.dtp`` submodules.
 """
 
 from __future__ import annotations
@@ -34,6 +39,12 @@ def runaway_skews(
     return skews
 
 
+def _context(network: DtpNetwork):
+    from ..faultlab.faults import FaultContext
+
+    return FaultContext(network=network, streams=network.streams, checker=None)
+
+
 def schedule_partition(
     network: DtpNetwork,
     a: str,
@@ -47,10 +58,9 @@ def schedule_partition(
     re-measures the OWD and BEACON_JOIN lets the slower subnet jump forward
     to the faster one's counter (Section 3.2, network dynamics).
     """
-    if up_at_fs <= down_at_fs:
-        raise ValueError("heal must come after the cut")
-    network.sim.schedule_at(down_at_fs, network.down_link, a, b)
-    network.sim.schedule_at(up_at_fs, network.up_link, a, b)
+    from ..faultlab.faults import Partition
+
+    Partition(a, b, down_at_fs, up_at_fs).arm(_context(network))
 
 
 def expected_partition_divergence_ticks(
@@ -63,9 +73,10 @@ def expected_partition_divergence_ticks(
 class FlappingLink:
     """A link that repeatedly goes down and comes back up.
 
-    Each heal re-runs INIT (fresh OWD measurement) and BEACON_JOIN; a
-    synchronization protocol that accumulated state across flaps would
-    drift, so this is the regression scenario for link churn.
+    Shim over :class:`repro.faultlab.faults.LinkFlap`; flap times (and the
+    optional jitter) come from the fault's *own* named random stream, so
+    adding unrelated faults or consumers of other streams never shifts the
+    flap schedule.
     """
 
     def __init__(
@@ -77,25 +88,28 @@ class FlappingLink:
         down_for_fs: int,
         start_fs: int = 0,
         flaps: int = 10,
+        jitter_fs: int = 0,
     ) -> None:
-        if down_for_fs >= down_every_fs:
-            raise ValueError("down_for must be shorter than the flap period")
+        from ..faultlab.faults import LinkFlap
+
         self.network = network
         self.a = a
         self.b = b
-        self.flap_count = 0
-        for index in range(flaps):
-            down_at = start_fs + index * down_every_fs
-            up_at = down_at + down_for_fs
-            network.sim.schedule_at(max(down_at, network.sim.now), self._down)
-            network.sim.schedule_at(max(up_at, network.sim.now), self._up)
+        self._fault = LinkFlap(
+            a,
+            b,
+            down_every_fs,
+            down_for_fs,
+            start_fs=start_fs,
+            flaps=flaps,
+            jitter_fs=jitter_fs,
+            name=f"flapping-link/{a}-{b}",
+        )
+        self._fault.arm(_context(network))
 
-    def _down(self) -> None:
-        self.network.down_link(self.a, self.b)
-        self.flap_count += 1
-
-    def _up(self) -> None:
-        self.network.up_link(self.a, self.b)
+    @property
+    def flap_count(self) -> int:
+        return self._fault.flap_count
 
 
 def make_two_faced(network: DtpNetwork, node: str, victim: str, lie_ticks: int) -> None:
@@ -107,16 +121,12 @@ def make_two_faced(network: DtpNetwork, node: str, victim: str, lie_ticks: int) 
     why: a consistent small lie (within the +/-8 reject window) drags the
     victim's side of the network ahead of everyone else and silently
     breaks the 4TD bound.  Detecting it needs Byzantine-tolerant protocols
-    outside DTP's scope.
+    outside DTP's scope (though ``repro.faultlab``'s invariant checker
+    observes the breakage from ground truth).
     """
-    port = network.ports[(node, victim)]
-    device = network.devices[node]
-    increment = device.counter_increment
+    from ..faultlab.faults import TwoFacedNode
 
-    def lying_counter(t_fs: int) -> int:
-        return device.global_counter(t_fs) + lie_ticks * increment
-
-    port._tx_counter = lying_counter
+    TwoFacedNode(node, victim, lie_ticks, at_fs=0).arm(_context(network))
 
 
 def oscillator_step(
@@ -127,23 +137,11 @@ def oscillator_step(
 ) -> None:
     """Schedule a sudden frequency step (thermal shock) on one device.
 
-    Implemented by swapping the oscillator's skew model at ``at_fs``; the
-    piecewise-segment machinery picks the new rate up at the next segment
-    boundary (within one update interval).
+    Implemented by swapping the oscillator's skew model for a
+    :class:`repro.faultlab.faults.SteppedSkew`; the piecewise-segment
+    machinery picks the new rate up at the next segment boundary (within
+    one update interval).
     """
-    from ..clocks.oscillator import ConstantSkew, SkewModel
+    from ..faultlab.faults import OscillatorStep
 
-    device = network.devices[node]
-
-    class _SteppedSkew(SkewModel):
-        def __init__(self, before: SkewModel, step_fs: int, after_ppm: float):
-            self.before = before
-            self.step_fs = step_fs
-            self.after_ppm = after_ppm
-
-        def ppm_at(self, t_fs: int) -> float:
-            if t_fs < self.step_fs:
-                return self.before.ppm_at(t_fs)
-            return self.after_ppm
-
-    device.oscillator.skew = _SteppedSkew(device.oscillator.skew, at_fs, new_ppm)
+    OscillatorStep(node, at_fs, new_ppm).arm(_context(network))

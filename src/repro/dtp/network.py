@@ -31,7 +31,7 @@ from ..sim.engine import Simulator
 from ..sim.randomness import RandomStreams
 from ..network.topology import Topology
 from .device import DtpDevice
-from .port import DtpPort, DtpPortConfig
+from .port import DtpPort, DtpPortConfig, PortState
 
 #: Factory signature: (edge index, "a->b" direction label) -> TrafficModel.
 TrafficFactory = Callable[[int, str], TrafficModel]
@@ -193,6 +193,13 @@ class DtpNetwork:
         """Restore the a-b cable; both ports rerun INIT and JOIN."""
         self.ports[(a, b)].link_up()
         self.ports[(b, a)].link_up()
+
+    def link_is_up(self, a: str, b: str) -> bool:
+        """True when neither direction of the a-b cable is DOWN."""
+        return (
+            self.ports[(a, b)].state is not PortState.DOWN
+            and self.ports[(b, a)].state is not PortState.DOWN
+        )
 
     # ------------------------------------------------------------------
     # True-offset measurement

@@ -146,6 +146,13 @@ class DtpPort:
         self.remote_msb: Optional[int] = None
         self.on_log: Optional[Callable[[int, int, int], None]] = None
         self.on_fault: Optional[Callable[["DtpPort"], None]] = None
+        #: Fault-injection gate: called with (message type, now) at the TX
+        #: instant; returning False drops the message before it hits the
+        #: wire (see ``repro.faultlab``).  None (the default) transmits
+        #: everything and costs nothing on the hot path.
+        self.tx_allow: Optional[
+            Callable[[dtpmsg.MessageType, int], bool]
+        ] = None
         self._beacons_since_msb = 0
         self._last_tx_slot = -1
         self._beacon_event: Optional[Event] = None
@@ -248,6 +255,8 @@ class DtpPort:
         # ``_arrive``/``_process`` run once per message, and the property
         # descriptor shows up in profiles at that call rate.
         now = self.sim._now
+        if self.tx_allow is not None and not self.tx_allow(mtype, now):
+            return
         payload = payload_builder(now)
         bits56 = dtpmsg.SHIFTED_TYPE[mtype] | payload
         self.stats.count_sent(mtype)

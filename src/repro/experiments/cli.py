@@ -189,6 +189,15 @@ def _run_report(quick: bool) -> List[str]:
     return [generate_report(quick=quick)]
 
 
+def _run_faultlab(quick: bool) -> List[str]:
+    # Imported lazily: faultlab pulls in dtp.network, which must not happen
+    # while repro.dtp's own package import is still in flight.
+    from ..faultlab import builtin_specs, render_campaign, run_campaign
+
+    results = run_campaign(builtin_specs(quick=quick), base_seed=0)
+    return render_campaign(results)
+
+
 def _run_sweeps(quick: bool) -> List[str]:
     outputs = [
         sweeps.sweep_beacon_vs_skew(duration_fs=(3 if quick else 4) * units.MS).render()
@@ -217,6 +226,7 @@ COMMANDS = {
     "stability": _run_stability,
     "hybrid": _run_hybrid,
     "sweeps": _run_sweeps,
+    "faultlab": _run_faultlab,
     "report": _run_report,
 }
 

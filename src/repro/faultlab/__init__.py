@@ -1,0 +1,90 @@
+"""faultlab — deterministic fault-injection campaigns with invariant checking.
+
+DTP's headline claim is a *provable* bound: peer offset <= 4T and <= 4TD
+across D hops (paper Section 3.3).  This package is the machinery that
+continuously measures the reproduction's correctness envelope instead of
+only its figure shapes:
+
+* :mod:`~repro.faultlab.faults` — a library of composable, seed-reproducible
+  fault models (link flaps, BER bursts, oscillator steps and glitches, node
+  crash-and-restart, beacon suppression, two-faced peers, partitions).
+  Every model draws its randomness from its *own* named campaign stream, so
+  adding one fault never shifts another fault's schedule.
+* :mod:`~repro.faultlab.invariants` — a runtime invariant checker that runs
+  every beacon interval and asserts the 4TD bound for healthy node pairs,
+  global-counter monotonicity after Algorithm 2's max-merge, and 53-bit
+  counter-wrap codec correctness, raising a structured
+  :class:`InvariantViolation` (or recording violations) with full context.
+* :mod:`~repro.faultlab.campaign` — a campaign runner executing declarative
+  scenario specs (plain dicts / JSON) and producing deterministic metrics:
+  per-fault recovery time, max offset excursion, time above bound.  The
+  same seed always produces the byte-identical (sha256-stable) output, and
+  campaigns fan out over the PR-1 parallel runner.
+* :mod:`~repro.faultlab.scenarios` — the built-in scenario catalogue the
+  ``repro faultlab`` CLI runs.
+"""
+
+from .campaign import (
+    CampaignError,
+    build_fault,
+    build_topology,
+    metrics_digest,
+    render_campaign,
+    run_campaign,
+    run_scenario,
+)
+from .faults import (
+    FAULT_KINDS,
+    BeaconSuppression,
+    BerBurst,
+    FaultContext,
+    FaultModel,
+    LinkFlap,
+    NodeCrash,
+    OscillatorGlitch,
+    OscillatorStep,
+    Partition,
+    RunawayQuarantine,
+    SteppedSkew,
+    TwoFacedNode,
+)
+from .invariants import (
+    INVARIANT_MONOTONIC,
+    INVARIANT_PAIR_BOUND,
+    INVARIANT_WRAP,
+    InvariantChecker,
+    InvariantViolation,
+    Violation,
+)
+from .scenarios import BUILTIN_SCENARIOS, builtin_specs
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "BeaconSuppression",
+    "BerBurst",
+    "CampaignError",
+    "FAULT_KINDS",
+    "FaultContext",
+    "FaultModel",
+    "INVARIANT_MONOTONIC",
+    "INVARIANT_PAIR_BOUND",
+    "INVARIANT_WRAP",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LinkFlap",
+    "NodeCrash",
+    "OscillatorGlitch",
+    "OscillatorStep",
+    "Partition",
+    "RunawayQuarantine",
+    "SteppedSkew",
+    "TwoFacedNode",
+    "Violation",
+    "build_fault",
+    "build_topology",
+    "builtin_specs",
+    "metrics_digest",
+    "render_campaign",
+    "run_campaign",
+    "run_scenario",
+]

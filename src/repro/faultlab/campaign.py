@@ -1,0 +1,267 @@
+"""Declarative fault-injection campaigns.
+
+A **scenario spec** is a plain dict (JSON-serializable) describing one run:
+
+.. code-block:: python
+
+    {
+        "name": "link-flap",
+        "topology": {"kind": "chain", "hosts": 3},
+        "duration_fs": 2 * units.MS,
+        "faults": [
+            {"kind": "link-flap", "a": "n0", "b": "n1",
+             "start_fs": 300 * units.US, "down_every_fs": 400 * units.US,
+             "down_for_fs": 80 * units.US, "flaps": 3},
+        ],
+        # optional: "config", "checker", "skew_ppm", "sample_interval_fs"
+    }
+
+:func:`run_scenario` executes one spec with an always-on
+:class:`~repro.faultlab.invariants.InvariantChecker` and returns a metrics
+dict of ints and strings only — so the canonical-JSON sha256 from
+:func:`metrics_digest` is byte-stable across runs and platforms for a given
+seed.  :func:`run_campaign` fans a list of specs out over the parallel
+experiment runner, deriving each scenario's seed from its *name* (not its
+position), so reordering scenarios never changes any result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .. import metrics
+from ..clocks.oscillator import ConstantSkew
+from ..dtp.network import DtpNetwork
+from ..dtp.port import DtpPortConfig
+from ..experiments.parallel import ExperimentTask, derive_seed, run_named_tasks
+from ..network import topology as topo
+from ..sim.engine import Simulator
+from ..sim.randomness import RandomStreams
+from .faults import FAULT_KINDS, FaultContext, FaultModel
+from .invariants import InvariantChecker
+
+
+class CampaignError(ValueError):
+    """A scenario spec is malformed."""
+
+
+#: Top-level keys a scenario spec may carry.
+_SPEC_KEYS = frozenset(
+    {
+        "name",
+        "topology",
+        "duration_fs",
+        "faults",
+        "config",
+        "checker",
+        "skew_ppm",
+        "sample_interval_fs",
+    }
+)
+
+
+def build_topology(spec: Dict[str, object]) -> topo.Topology:
+    """Build a topology from its spec: ``{"kind": ..., <parameters>}``."""
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    try:
+        if kind == "chain":
+            built = topo.chain(int(params.pop("hosts")))
+        elif kind == "star":
+            built = topo.star(int(params.pop("hosts")))
+        elif kind == "two-level-tree":
+            built = topo.two_level_tree(
+                int(params.pop("branches")), int(params.pop("leaves"))
+            )
+        elif kind == "paper-testbed":
+            built = topo.paper_testbed()
+        elif kind == "fat-tree":
+            built = topo.fat_tree(
+                int(params.pop("k")), int(params.pop("hosts_per_edge", 0))
+            )
+        else:
+            raise CampaignError(f"unknown topology kind {kind!r}")
+    except KeyError as exc:
+        raise CampaignError(
+            f"topology {kind!r} is missing parameter {exc.args[0]!r}"
+        ) from exc
+    if params:
+        raise CampaignError(
+            f"unknown topology parameters for {kind!r}: {sorted(params)}"
+        )
+    return built
+
+
+def build_fault(spec: Dict[str, object], index: int = 0) -> FaultModel:
+    """Build (but do not arm) a fault model from its spec.
+
+    ``kind`` selects the class from :data:`~repro.faultlab.faults.FAULT_KINDS`;
+    every other key is passed to the constructor.  An omitted ``name``
+    defaults to ``"<kind>-<index>"``.
+    """
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    cls = FAULT_KINDS.get(kind)
+    if cls is None:
+        raise CampaignError(
+            f"unknown fault kind {kind!r}; known: {sorted(FAULT_KINDS)}"
+        )
+    name = params.pop("name", f"{kind}-{index}")
+    try:
+        return cls(name=name, **params)
+    except TypeError as exc:
+        raise CampaignError(f"bad parameters for fault {name!r}: {exc}") from exc
+
+
+def run_scenario(
+    spec: Dict[str, object],
+    seed: int = 0,
+    sim_factory: Callable[[], object] = Simulator,
+) -> Dict[str, object]:
+    """Run one scenario and return its (canonically JSON-able) metrics.
+
+    ``sim_factory`` exists for the reference-vs-optimized equivalence
+    tests, which substitute the verbatim seed engine.
+    """
+    unknown = set(spec) - _SPEC_KEYS
+    if unknown:
+        raise CampaignError(f"unknown scenario keys: {sorted(unknown)}")
+    if "topology" not in spec or "duration_fs" not in spec:
+        raise CampaignError("scenario needs 'topology' and 'duration_fs'")
+    name = str(spec.get("name", "scenario"))
+    duration_fs = int(spec["duration_fs"])
+    if duration_fs <= 0:
+        raise CampaignError("duration_fs must be positive")
+
+    sim = sim_factory()
+    streams = RandomStreams(root_seed=seed)
+    topology = build_topology(spec["topology"])
+    config = DtpPortConfig(**spec.get("config", {}))
+    skew_ppm = spec.get("skew_ppm")
+    skews = (
+        {node: ConstantSkew(float(ppm)) for node, ppm in skew_ppm.items()}
+        if skew_ppm
+        else None
+    )
+    network = DtpNetwork(sim, topology, streams, config=config, skews=skews)
+    checker = InvariantChecker(network, **spec.get("checker", {}))
+
+    context = FaultContext(network=network, streams=streams, checker=checker)
+    faults: List[FaultModel] = []
+    seen_names = set()
+    for index, fault_spec in enumerate(spec.get("faults", [])):
+        fault = build_fault(fault_spec, index)
+        if fault.name in seen_names:
+            raise CampaignError(f"duplicate fault name {fault.name!r}")
+        seen_names.add(fault.name)
+        fault.arm(context)
+        faults.append(fault)
+
+    network.start()
+
+    sample_interval_fs = int(
+        spec.get("sample_interval_fs", checker.interval_fs * 4)
+    )
+    sample_times: List[int] = []
+    sample_values: List[int] = []
+
+    def _sample() -> None:
+        worst = checker.worst_checkable_offset()
+        if worst is not None:
+            sample_times.append(sim.now)
+            sample_values.append(worst)
+        sim.schedule(sample_interval_fs, _sample)
+
+    sim.schedule_at(sim.now, _sample)
+    sim.run_until(duration_fs)
+
+    recovery = {
+        reason: {
+            "count": len(durations),
+            "max_fs": max(durations),
+            "mean_fs": sum(durations) // len(durations),
+        }
+        for reason, durations in sorted(checker.recovery_fs.items())
+    }
+    return {
+        "scenario": name,
+        "seed": seed,
+        "duration_fs": duration_fs,
+        "nodes": len(topology.nodes),
+        "edges": len(topology.edges),
+        "checks_run": checker.checks_run,
+        "pairs_checked": checker.pairs_checked,
+        "violations": dict(sorted(checker.counts.items())),
+        "violations_total": checker.total_violations,
+        "ticks_above_bound": checker.ticks_above_bound,
+        "time_above_bound_fs": checker.ticks_above_bound * checker.interval_fs,
+        "max_offset_excursion": int(metrics.max_abs_excursion(sample_values)),
+        "samples": len(sample_values),
+        "recovery": recovery,
+        "reconnect_recoveries": len(checker.reconnect_recoveries),
+        "faults": {
+            fault.name: {"kind": fault.kind, **fault.summary()}
+            for fault in faults
+        },
+        "all_synchronized": 1 if network.all_synchronized() else 0,
+        "first_violations": [
+            violation.as_dict() for violation in checker.violations[:5]
+        ],
+    }
+
+
+def metrics_digest(obj: object) -> str:
+    """sha256 over the canonical JSON encoding of a metrics object."""
+    canonical = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _scenario_task(spec: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Module-level (hence picklable) worker for the parallel runner."""
+    return run_scenario(spec, seed=seed)
+
+
+def run_campaign(
+    specs: Iterable[Dict[str, object]],
+    base_seed: int = 0,
+    jobs: Optional[int] = 1,
+) -> Dict[str, Dict[str, object]]:
+    """Run many scenarios, each seeded from ``(base_seed, scenario name)``.
+
+    Returns an ordered ``{scenario name: metrics}`` dict.  ``jobs > 1``
+    fans out over worker processes via the parallel experiment runner;
+    results are byte-identical to the serial path.
+    """
+    tasks = []
+    for spec in specs:
+        if "name" not in spec:
+            raise CampaignError("campaign scenarios need a 'name'")
+        name = str(spec["name"])
+        tasks.append(
+            ExperimentTask(name, _scenario_task, (spec, derive_seed(base_seed, name)))
+        )
+    return run_named_tasks(tasks, jobs=jobs)
+
+
+def render_campaign(results: Dict[str, Dict[str, object]]) -> List[str]:
+    """Human-readable campaign report, ending with the campaign digest."""
+    lines = []
+    for name, result in results.items():
+        violations = result["violations_total"]
+        recovery = result["recovery"]
+        worst_recovery = max(
+            (stats["max_fs"] for stats in recovery.values()), default=0
+        )
+        lines.append(
+            f"{name:20s}  checks={result['checks_run']:4d}"
+            f"  pairs={result['pairs_checked']:6d}"
+            f"  violations={violations:3d}"
+            f"  max_excursion={result['max_offset_excursion']:8d}"
+            f"  above_bound_fs={result['time_above_bound_fs']:8d}"
+            f"  worst_recovery_fs={worst_recovery:10d}"
+            f"  synced={result['all_synchronized']}"
+        )
+    lines.append(f"campaign sha256: {metrics_digest(results)}")
+    return lines

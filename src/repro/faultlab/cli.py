@@ -1,0 +1,79 @@
+"""``repro faultlab`` — run fault-injection campaigns from the CLI.
+
+Usage::
+
+    repro faultlab                         # full built-in campaign
+    repro faultlab --quick --seed 7        # CI smoke profile
+    repro faultlab two-faced baseline      # just these scenarios
+    repro faultlab --list                  # catalogue
+    repro faultlab --json | sha256sum      # byte-stable metrics
+
+The last line is the determinism contract: the same seed and scenario set
+always produce sha256-identical output (the human-readable report also
+ends with the campaign digest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .campaign import CampaignError, render_campaign, run_campaign
+from .scenarios import BUILTIN_SCENARIOS, builtin_specs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro faultlab",
+        description="Deterministic DTP fault-injection campaigns.",
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="SCENARIO",
+        help="built-in scenarios to run (default: all; see --list)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign base seed (default 0)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shorter runs for smoke testing"
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (0 = one per CPU; results are identical "
+        "to a serial run)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw metrics as canonical JSON instead of the report",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list built-in scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in BUILTIN_SCENARIOS:
+            print(name)
+        return 0
+
+    try:
+        specs = builtin_specs(args.scenarios or None, quick=args.quick)
+    except CampaignError as exc:
+        parser.error(str(exc))
+
+    jobs = None if args.jobs == 0 else args.jobs
+    results = run_campaign(specs, base_seed=args.seed, jobs=jobs)
+    if args.json:
+        print(json.dumps(results, sort_keys=True, separators=(",", ":")))
+    else:
+        for line in render_campaign(results):
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,484 @@
+"""Runtime invariant checking for DTP networks.
+
+The checker is an always-on probe (in the spirit of
+:class:`~repro.dtp.monitor.BoundMonitor`, but reading ground truth instead
+of the LOG channel) that wakes every beacon interval and asserts the
+properties the paper proves:
+
+1. **pair-bound** — any two synchronized, non-faulted nodes that can reach
+   each other over currently-synchronized links are within ``4 T D`` counter
+   units, where ``D`` is their hop distance over those links (Section 3.3);
+2. **gc-monotonic** — every device's global counter is strictly monotonic,
+   including across Algorithm 2's ``gc <- max(gc, lc_i)`` merges;
+3. **wrap-codec** — the 53-bit low half of every counter survives the
+   encode/reconstruct round trip, both against the node's own counter and
+   against every in-bound peer's counter (Section 4.4 wraparound).
+
+Fault models tell the checker which nodes are deliberately broken
+(:meth:`InvariantChecker.quarantine`) so injected faults do not drown the
+report in expected noise; when a fault heals (:meth:`release`) the checker
+watches the node converge and records the **recovery time**.  A fault the
+protocol cannot defend against — a two-faced peer — is *not* quarantined,
+which is exactly how the checker flags it.
+
+In ``raise_on_violation`` mode the first violation raises a structured
+:class:`InvariantViolation` carrying the full event context (all counters,
+port states, quarantine sets) for post-mortem debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..dtp import messages as dtpmsg
+from ..dtp.analysis import DIRECT_BOUND_TICKS
+from ..dtp.network import DtpNetwork
+from ..sim import units
+
+INVARIANT_PAIR_BOUND = "pair-bound"
+INVARIANT_MONOTONIC = "gc-monotonic"
+INVARIANT_WRAP = "wrap-codec"
+
+#: How long a freshly (re)connected pair may converge before the bound is
+#: enforced: BEACON_JOIN must propagate and the max-merge settle, which
+#: takes a handful of beacon flights (Section 3.2, network dynamics).
+DEFAULT_GRACE_FS = 50 * units.US
+
+
+@dataclass
+class Violation:
+    """One invariant violation, with enough context to reproduce it."""
+
+    time_fs: int
+    invariant: str
+    subject: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time_fs": self.time_fs,
+            "invariant": self.invariant,
+            "subject": self.subject,
+            "detail": dict(self.detail),
+        }
+
+
+class InvariantViolation(AssertionError):
+    """A checked invariant failed; carries the violation and a full snapshot."""
+
+    def __init__(self, violation: Violation, context: Dict[str, object]):
+        self.violation = violation
+        self.context = context
+        super().__init__(
+            f"{violation.invariant} violated at t={violation.time_fs} fs "
+            f"on {violation.subject}: {violation.detail}"
+        )
+
+
+class InvariantChecker:
+    """Checks DTP invariants on a fixed simulated cadence.
+
+    Construct the checker *before* the run (it samples counters live —
+    disciplined clocks cannot be read retroactively); it keeps rescheduling
+    itself until :meth:`stop` or the end of the simulation.  Only
+    ``schedule``/``schedule_at``/``cancel`` are used, so the checker also
+    runs on the verbatim-seed engine used by the equivalence tests.
+    """
+
+    def __init__(
+        self,
+        network: DtpNetwork,
+        interval_fs: Optional[int] = None,
+        bound_ticks_per_hop: int = DIRECT_BOUND_TICKS,
+        slack_ticks: int = 0,
+        grace_fs: int = DEFAULT_GRACE_FS,
+        raise_on_violation: bool = False,
+        max_recorded: int = 1000,
+        start_fs: int = 0,
+    ) -> None:
+        self.network = network
+        if interval_fs is None:
+            interval_fs = (
+                network.config.beacon_interval_ticks * network.spec.period_fs
+            )
+        if interval_fs <= 0:
+            raise ValueError("interval_fs must be positive")
+        self.interval_fs = interval_fs
+        self.bound_ticks_per_hop = bound_ticks_per_hop
+        self.slack_ticks = slack_ticks
+        self.grace_fs = grace_fs
+        self.raise_on_violation = raise_on_violation
+        self.max_recorded = max_recorded
+
+        self.violations: List[Violation] = []
+        self.counts: Dict[str, int] = {}
+        self.checks_run = 0
+        self.pairs_checked = 0
+        #: Check ticks during which at least one pair was out of bound.
+        self.ticks_above_bound = 0
+        #: Fault reason -> list of recovery durations (release -> in-bound).
+        self.recovery_fs: Dict[str, List[int]] = {}
+        #: Convergence log: every pair (re)connection and how long it took
+        #: to come within bound.
+        self.reconnect_recoveries: List[Dict[str, object]] = []
+
+        self._nodes = list(network.devices)
+        self._last_counter: Dict[str, int] = {}
+        self._connected_since: Dict[Tuple[str, str], int] = {}
+        self._awaiting_recovery: Dict[Tuple[str, str], int] = {}
+        self._quarantined: Dict[str, str] = {}
+        #: node -> (fault reason, healing since, peers that must be back
+        #: in bound before the node counts as recovered).
+        self._healing: Dict[str, Tuple[str, int, FrozenSet[str]]] = {}
+        self._event = network.sim.schedule_at(
+            max(start_fs, network.sim.now), self._tick
+        )
+
+    # ------------------------------------------------------------------
+    # Fault-model API
+    # ------------------------------------------------------------------
+    def quarantine(self, nodes: Iterable[str], reason: str) -> None:
+        """Exclude ``nodes`` from violation checks (a fault is active)."""
+        for node in nodes:
+            self._check_node(node)
+            self._quarantined[node] = reason
+
+    def release(
+        self,
+        nodes: Iterable[str],
+        reason: str,
+        wait_for: Optional[Iterable[str]] = None,
+    ) -> None:
+        """The fault healed: watch ``nodes`` converge and time the recovery.
+
+        ``wait_for`` names peers that must be reachable (and in bound)
+        before the node counts as recovered — e.g. the far side of a healed
+        partition.  Without it a node is recovered as soon as it is in
+        bound with everything it can currently reach.
+        """
+        now = self.network.sim.now
+        required = frozenset(wait_for or ())
+        for node in nodes:
+            self._check_node(node)
+            self._quarantined.pop(node, None)
+            self._healing[node] = (reason, now, required)
+
+    def notify_counter_reset(self, node: str) -> None:
+        """A device's counter was legitimately reset (crash-and-restart)."""
+        self._check_node(node)
+        self._last_counter.pop(node, None)
+
+    def _check_node(self, node: str) -> None:
+        if node not in self.network.devices:
+            raise KeyError(f"unknown node {node!r}")
+
+    @property
+    def quarantined_nodes(self) -> List[str]:
+        return sorted(self._quarantined)
+
+    @property
+    def healing_nodes(self) -> List[str]:
+        return sorted(self._healing)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(self.counts.values())
+
+    def stop(self) -> None:
+        self.network.sim.cancel(self._event)
+        self._event = None
+
+    # ------------------------------------------------------------------
+    # Topology helpers (synchronized subgraph)
+    # ------------------------------------------------------------------
+    def _sync_adjacency(self) -> Dict[str, List[str]]:
+        """Adjacency over links whose both ports are SYNCHRONIZED, skipping
+        quarantined endpoints (their links carry deliberately bad data)."""
+        adjacency: Dict[str, List[str]] = {name: [] for name in self._nodes}
+        ports = self.network.ports
+        for edge in self.network.topology.edges:
+            if edge.a in self._quarantined or edge.b in self._quarantined:
+                continue
+            if (
+                ports[(edge.a, edge.b)].synchronized
+                and ports[(edge.b, edge.a)].synchronized
+            ):
+                adjacency[edge.a].append(edge.b)
+                adjacency[edge.b].append(edge.a)
+        return adjacency
+
+    @staticmethod
+    def _distances_from(
+        start: str, adjacency: Dict[str, List[str]]
+    ) -> Dict[str, int]:
+        dist = {start: 0}
+        frontier = [start]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for peer in adjacency[node]:
+                    if peer not in dist:
+                        dist[peer] = dist[node] + 1
+                        next_frontier.append(peer)
+            frontier = next_frontier
+        return dist
+
+    def _all_distances(self) -> Dict[str, Dict[str, int]]:
+        adjacency = self._sync_adjacency()
+        return {
+            name: self._distances_from(name, adjacency) for name in self._nodes
+        }
+
+    def _pair_bound(self, a: str, b: str, hops: int) -> int:
+        increment = max(
+            self.network.devices[a].counter_increment,
+            self.network.devices[b].counter_increment,
+        )
+        return (self.bound_ticks_per_hop * hops + self.slack_ticks) * increment
+
+    def _checkable_pairs_from(
+        self, distances: Dict[str, Dict[str, int]], enforce_grace: bool
+    ) -> List[Tuple[str, str, int]]:
+        now = self.network.sim.now
+        pairs: List[Tuple[str, str, int]] = []
+        for i, a in enumerate(self._nodes):
+            if a in self._quarantined or a in self._healing:
+                continue
+            dist_a = distances[a]
+            for b in self._nodes[i + 1 :]:
+                if b in self._quarantined or b in self._healing:
+                    continue
+                hops = dist_a.get(b)
+                if hops is None:
+                    continue
+                since = self._connected_since.get((a, b), now)
+                if enforce_grace and now - since < self.grace_fs:
+                    continue
+                pairs.append((a, b, self._pair_bound(a, b, hops)))
+        return pairs
+
+    def checkable_pairs(
+        self, enforce_grace: bool = True
+    ) -> List[Tuple[str, str, int]]:
+        """Pairs currently subject to the bound check, as ``(a, b, bound)``.
+
+        A pair qualifies when neither node is quarantined or healing, both
+        sit in the same component of the synchronized subgraph, and (if
+        ``enforce_grace``) the pair has been connected at least
+        ``grace_fs``.
+        """
+        return self._checkable_pairs_from(self._all_distances(), enforce_grace)
+
+    def worst_checkable_offset(self) -> Optional[int]:
+        """Largest |offset| among currently checkable pairs (None if none)."""
+        now = self.network.sim.now
+        worst = None
+        for a, b, _bound in self.checkable_pairs():
+            offset = abs(
+                self.network.devices[a].global_counter(now)
+                - self.network.devices[b].global_counter(now)
+            )
+            if worst is None or offset > worst:
+                worst = offset
+        return worst
+
+    # ------------------------------------------------------------------
+    # The check tick
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        sim = self.network.sim
+        now = sim.now
+        self.checks_run += 1
+        devices = self.network.devices
+        counters = {
+            name: devices[name].global_counter(now) for name in self._nodes
+        }
+        distances = self._all_distances()
+
+        self._check_monotonic(now, counters)
+        self._check_wrap_codec(now, counters)
+        self._check_pair_bounds(now, counters, distances)
+        self._update_connectivity_epochs(now, counters, distances)
+        self._check_recoveries(now, counters, distances)
+
+        self._event = sim.schedule(self.interval_fs, self._tick)
+
+    def _check_monotonic(self, now: int, counters: Dict[str, int]) -> None:
+        for node in self._nodes:
+            previous = self._last_counter.get(node)
+            if (
+                previous is not None
+                and counters[node] <= previous
+                and node not in self._quarantined
+                and node not in self._healing
+            ):
+                self._record(
+                    now,
+                    INVARIANT_MONOTONIC,
+                    node,
+                    {"previous": previous, "current": counters[node]},
+                )
+            self._last_counter[node] = counters[node]
+
+    def _check_wrap_codec(self, now: int, counters: Dict[str, int]) -> None:
+        for node in self._nodes:
+            gc = counters[node]
+            low = dtpmsg.counter_low(gc)
+            if not 0 <= low <= dtpmsg.COUNTER_LOW_MASK:
+                self._record(now, INVARIANT_WRAP, node, {"low": low, "gc": gc})
+                continue
+            if dtpmsg.reconstruct_counter(low, gc) != gc:
+                self._record(
+                    now,
+                    INVARIANT_WRAP,
+                    node,
+                    {"low": low, "gc": gc, "kind": "self-roundtrip"},
+                )
+
+    def _check_pair_bounds(
+        self,
+        now: int,
+        counters: Dict[str, int],
+        distances: Dict[str, Dict[str, int]],
+    ) -> None:
+        any_above = False
+        for a, b, bound in self._checkable_pairs_from(distances, True):
+            offset = counters[a] - counters[b]
+            self.pairs_checked += 1
+            if abs(offset) > bound:
+                any_above = True
+                self._record(
+                    now,
+                    INVARIANT_PAIR_BOUND,
+                    f"{a}-{b}",
+                    {"offset": offset, "bound": bound},
+                )
+            else:
+                # Wrap correctness *across* nodes: reconstructing a's low
+                # half against b's counter must recover a's exact counter
+                # whenever the pair is within bound (Section 4.4).
+                low_a = dtpmsg.counter_low(counters[a])
+                if dtpmsg.reconstruct_counter(low_a, counters[b]) != counters[a]:
+                    self._record(
+                        now,
+                        INVARIANT_WRAP,
+                        f"{a}-{b}",
+                        {
+                            "low": low_a,
+                            "gc_a": counters[a],
+                            "gc_b": counters[b],
+                            "kind": "cross-node",
+                        },
+                    )
+        if any_above:
+            self.ticks_above_bound += 1
+
+    def _update_connectivity_epochs(
+        self,
+        now: int,
+        counters: Dict[str, int],
+        distances: Dict[str, Dict[str, int]],
+    ) -> None:
+        connected_now = set()
+        for i, a in enumerate(self._nodes):
+            if a in self._quarantined:
+                continue
+            dist_a = distances[a]
+            for b in self._nodes[i + 1 :]:
+                if b in self._quarantined:
+                    continue
+                hops = dist_a.get(b)
+                if hops is None:
+                    continue
+                pair = (a, b)
+                connected_now.add(pair)
+                if pair not in self._connected_since:
+                    self._connected_since[pair] = now
+                    self._awaiting_recovery[pair] = now
+                if pair in self._awaiting_recovery:
+                    if abs(counters[a] - counters[b]) <= self._pair_bound(
+                        a, b, hops
+                    ):
+                        self.reconnect_recoveries.append(
+                            {
+                                "pair": f"{a}-{b}",
+                                "connected_fs": self._awaiting_recovery[pair],
+                                "recovered_after_fs": now
+                                - self._awaiting_recovery[pair],
+                            }
+                        )
+                        del self._awaiting_recovery[pair]
+        for pair in list(self._connected_since):
+            if pair not in connected_now:
+                del self._connected_since[pair]
+                self._awaiting_recovery.pop(pair, None)
+
+    def _check_recoveries(
+        self,
+        now: int,
+        counters: Dict[str, int],
+        distances: Dict[str, Dict[str, int]],
+    ) -> None:
+        if not self._healing:
+            return
+        for node, (reason, since_fs, required) in list(self._healing.items()):
+            reachable = distances[node]
+            if any(peer not in reachable for peer in required):
+                continue  # the healed path has not re-synchronized yet
+            peers = {
+                peer
+                for peer in reachable
+                if peer != node
+                and peer not in self._quarantined
+                and (peer not in self._healing or peer in required)
+            }
+            if not peers:
+                continue
+            in_bound = all(
+                abs(counters[node] - counters[peer])
+                <= self._pair_bound(node, peer, reachable[peer])
+                for peer in peers
+            )
+            if in_bound:
+                self.recovery_fs.setdefault(reason, []).append(now - since_fs)
+                del self._healing[node]
+                # Restart the monotonic baseline: the node may have been
+                # reset while it was out of the checked set.
+                self._last_counter[node] = counters[node]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record(
+        self, now: int, invariant: str, subject: str, detail: Dict[str, object]
+    ) -> None:
+        violation = Violation(now, invariant, subject, detail)
+        self.counts[invariant] = self.counts.get(invariant, 0) + 1
+        if len(self.violations) < self.max_recorded:
+            self.violations.append(violation)
+        if self.raise_on_violation:
+            raise InvariantViolation(violation, self._context(now))
+
+    def _context(self, now: int) -> Dict[str, object]:
+        """Full event context for post-mortem debugging."""
+        return {
+            "time_fs": now,
+            "counters": {
+                name: self.network.devices[name].global_counter(now)
+                for name in self._nodes
+            },
+            "port_states": {
+                f"{a}->{b}": port.state.value
+                for (a, b), port in self.network.ports.items()
+            },
+            "quarantined": dict(self._quarantined),
+            "healing": {
+                node: {
+                    "reason": reason,
+                    "since_fs": since,
+                    "wait_for": sorted(required),
+                }
+                for node, (reason, since, required) in self._healing.items()
+            },
+        }

@@ -132,6 +132,41 @@ def time_deviation(x: Sequence[float], tau0: float, m: int = 1) -> float:
     return tau * math.sqrt(mod_avar / 3.0)
 
 
+def max_abs_excursion(values: Sequence[float]) -> float:
+    """Largest absolute value in a series (0 for an empty series).
+
+    The fault campaigns report this over the worst-pair offset series: the
+    single farthest any healthy node pair strayed during the run.
+    """
+    worst = 0.0
+    for value in values:
+        magnitude = abs(value)
+        if magnitude > worst:
+            worst = magnitude
+    return worst
+
+
+def time_above_threshold(
+    times_fs: Sequence[int],
+    values: Sequence[float],
+    threshold: float,
+) -> int:
+    """Total simulated time (fs) a sampled series spent above ``threshold``.
+
+    Sample-and-hold: each sample's value is taken to persist until the next
+    sample, so the result is the sum of the inter-sample intervals whose
+    *leading* sample exceeds the threshold.  The final sample contributes
+    nothing (its holding interval is unknown).
+    """
+    if len(times_fs) != len(values):
+        raise MetricsError("times_fs and values must have equal length")
+    total = 0
+    for i in range(len(values) - 1):
+        if values[i] > threshold:
+            total += times_fs[i + 1] - times_fs[i]
+    return total
+
+
 def summarize_stability(
     offsets_fs: Sequence[float], interval_fs: int
 ) -> Dict[str, float]:

@@ -61,3 +61,38 @@ def test_log_channel_valid_across_wrap(sim, streams, near_wrap_net):
     samples = net.logged_for("n0", "n1")
     assert len(samples) == 100
     assert all(-4 <= s.offset_ticks <= 4 for s in samples)
+
+
+def test_max_merge_crosses_wrap_during_partition_heal(sim, streams):
+    """Algorithm 2's max-merge carries a partition heal across 2^53.
+
+    One subnet crosses the wrap boundary while the link is down; on heal,
+    the BEACON_JOIN payload (53 wrapped LSBs) must reconstruct on the
+    lagging side to the *post-wrap* value and pull it forward across the
+    boundary — not backwards to the congruent pre-wrap value.
+    """
+    from repro.dtp.faults import schedule_partition
+
+    net = DtpNetwork(
+        sim, chain(2), streams,
+        config=DtpPortConfig(msb_interval_beacons=100),
+    )
+    start = WRAP - 50_000
+    for device in net.devices.values():
+        device.gc.set_counter(0, start)
+    net.start()
+    schedule_partition(
+        net, "n0", "n1", down_at_fs=50 * units.US, up_at_fs=150 * units.US
+    )
+
+    def jump_across_wrap():
+        # Emulate a long divergence on n0's side: it has already wrapped
+        # by the time the link heals (n1 is still ~42k ticks below 2^53).
+        net.devices["n0"].gc.set_counter(sim.now, WRAP + 500)
+
+    sim.schedule_at(100 * units.US, jump_across_wrap)
+    sim.run_until(500 * units.US)
+    assert net.counter_of("n0") > WRAP
+    assert net.counter_of("n1") > WRAP  # merged forward across the wrap
+    assert net.max_abs_offset() <= 8
+    assert net.all_synchronized()

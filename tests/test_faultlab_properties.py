@@ -1,0 +1,57 @@
+"""Property tests: the 4T / 4TD bounds hold fault-free (paper Section 3.3).
+
+Randomized skews (anywhere in the IEEE +/-100 ppm envelope) and chain
+depths, checked by the faultlab invariant checker — the regression net
+underneath every fault scenario's "zero violations" claim.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.oscillator import ConstantSkew
+from repro.dtp.network import DtpNetwork
+from repro.faultlab import InvariantChecker
+from repro.network.topology import chain
+from repro.sim import units
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+
+ppm = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _run_checked_chain(hosts, ppms, seed, duration_fs):
+    sim = Simulator()
+    streams = RandomStreams(root_seed=seed)
+    skews = {f"n{i}": ConstantSkew(ppms[i]) for i in range(hosts)}
+    net = DtpNetwork(sim, chain(hosts), streams, skews=skews)
+    checker = InvariantChecker(net)
+    net.start()
+    sim.run_until(duration_fs)
+    return net, checker
+
+
+@settings(max_examples=10, deadline=None)
+@given(ppms=st.tuples(ppm, ppm), seed=st.integers(0, 2**20))
+def test_peer_bound_holds_fault_free(ppms, seed):
+    net, checker = _run_checked_chain(2, ppms, seed, 800 * units.US)
+    assert checker.pairs_checked > 0
+    assert checker.total_violations == 0
+    assert net.max_abs_offset() <= 4 * net.devices["n0"].counter_increment
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    hosts=st.integers(min_value=3, max_value=5),
+    ppms=st.tuples(ppm, ppm, ppm, ppm, ppm),
+    seed=st.integers(0, 2**20),
+)
+def test_multihop_bound_holds_fault_free(hosts, ppms, seed):
+    _net, checker = _run_checked_chain(hosts, ppms, seed, 800 * units.US)
+    assert checker.pairs_checked > 0
+    assert checker.total_violations == 0
+    # The worst checkable pair sits within 4TD for its depth D.
+    worst = checker.worst_checkable_offset()
+    deepest = max(bound for _a, _b, bound in checker.checkable_pairs())
+    assert worst is not None and worst <= deepest
