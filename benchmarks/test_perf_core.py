@@ -7,7 +7,12 @@ Measures, on this machine, in this process:
 * end-to-end wall time of the Fig. 6a experiment (12-node paper testbed,
   saturated MTU links, 2 ms simulated) on the optimized core and on the
   seed core (``_seed_core.seed_implementation``);
-* that both cores produce **bit-identical** experiment output.
+* that both cores produce **bit-identical** experiment output;
+* the telemetry overhead guard: with telemetry *disabled* the engine
+  micro-bench must stay within 3% of the previously recorded
+  ``BENCH_core.json`` events/sec (the hooks are ``None`` checks and must
+  cost nothing), and the traced-over-untraced Fig. 6a wall-time ratio is
+  recorded under the ``"telemetry"`` key.
 
 The resulting ``BENCH_core.json`` (repo root) records the numbers so the
 perf trajectory is tracked across PRs::
@@ -97,10 +102,10 @@ def _result_digest(result) -> str:
     return h.hexdigest()
 
 
-def _run_fig6a() -> tuple[str, float]:
+def _run_fig6a(telemetry=None) -> tuple[str, float]:
     gc.collect()
     start = time.perf_counter()
-    result = run_fig6_dtp(Fig6DtpConfig(**FIG6A_CONFIG))
+    result = run_fig6_dtp(Fig6DtpConfig(**FIG6A_CONFIG), telemetry=telemetry)
     wall = time.perf_counter() - start
     return _result_digest(result), wall
 
@@ -138,6 +143,27 @@ def test_perf_core_speedup_and_bench_json():
     # The optimization must not change a single sample or summary value.
     assert digest_new == digest_seed, "optimized core changed experiment output"
 
+    # --- telemetry overhead ----------------------------------------------
+    # Traced runs are allowed to cost; untraced runs are not.  The
+    # untraced guard is the engine micro-bench against the *previously
+    # recorded* numbers (read before this run overwrites the file).
+    previous_eps = None
+    if BENCH_PATH.exists():
+        previous = json.loads(BENCH_PATH.read_text())
+        previous_eps = previous.get("engine", {}).get("events_per_sec")
+
+    from repro.telemetry import Telemetry
+
+    fig6a_traced_wall = float("inf")
+    _run_fig6a(telemetry=Telemetry())  # warm the traced path
+    for _ in range(TIMING_REPEATS):
+        telemetry = Telemetry()
+        digest_traced, wall = _run_fig6a(telemetry=telemetry)
+        fig6a_traced_wall = min(fig6a_traced_wall, wall)
+    # Tracing must observe, never perturb: identical experiment output.
+    assert digest_traced == digest_new, "tracing changed experiment output"
+    traced_ratio = fig6a_traced_wall / fig6a_new_wall
+
     bench = {
         "engine": {
             "workload_events": events_new,
@@ -153,6 +179,12 @@ def test_perf_core_speedup_and_bench_json():
             "output_digest": digest_new,
             "bit_identical_to_seed": digest_new == digest_seed,
         },
+        "telemetry": {
+            "fig6a_wall_s_traced": round(fig6a_traced_wall, 3),
+            "traced_over_untraced": round(traced_ratio, 2),
+            "trace_recorded": telemetry.tracer.recorded,
+            "bit_identical_to_untraced": digest_traced == digest_new,
+        },
     }
     BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
     print()
@@ -163,3 +195,10 @@ def test_perf_core_speedup_and_bench_json():
     # the acceptance bar.
     assert engine_speedup >= 1.5, f"engine speedup only {engine_speedup:.2f}x"
     assert fig6a_speedup >= 3.0, f"Fig. 6a speedup only {fig6a_speedup:.2f}x"
+    # Telemetry-off must not regress the engine: within 3% of the last
+    # recorded run on this machine.
+    if previous_eps:
+        assert engine_eps_new >= 0.97 * previous_eps, (
+            f"telemetry-disabled engine bench regressed: "
+            f"{engine_eps_new:.0f} < 0.97 * {previous_eps} events/s"
+        )

@@ -1,7 +1,8 @@
 """The ``repro`` umbrella command.
 
 ``repro faultlab ...`` dispatches to the fault-campaign CLI
-(:mod:`repro.faultlab.cli`); anything else goes to the experiment driver
+(:mod:`repro.faultlab.cli`), ``repro trace ...`` to the telemetry CLI
+(:mod:`repro.telemetry.cli`); anything else goes to the experiment driver
 (:mod:`repro.experiments.cli`), so ``repro fig6a --quick`` keeps working
 exactly like ``dtp-repro fig6a --quick``.
 """
@@ -20,6 +21,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .faultlab.cli import main as faultlab_main
 
         return faultlab_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from .telemetry.cli import main as trace_main
+
+        return trace_main(argv[1:])
     from .experiments.cli import main as experiments_main
 
     return experiments_main(argv)

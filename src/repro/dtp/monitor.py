@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..sim import units
+from ..telemetry.events import EV_ALARM
 from .analysis import DIRECT_BOUND_TICKS
 from .network import DtpNetwork
 
@@ -57,6 +58,28 @@ class BoundMonitor:
         self._windows: dict = {
             f"{a}-{b}": deque(maxlen=window_samples) for a, b in pairs
         }
+        # Telemetry rides along with the network's (None = disabled).
+        telemetry = getattr(network, "telemetry", None)
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._m_samples = registry.counter(
+                "monitor_log_samples_total",
+                "offset_hw samples consumed by the bound monitor",
+            ).labels()
+            self._m_alerts = registry.counter(
+                "monitor_alerts_total",
+                "bound violations observed by the monitor, by link",
+                labelnames=("link",),
+            )
+            self._m_alarmed = registry.gauge(
+                "monitor_alarmed_links",
+                "links currently latched in the alarmed state",
+            ).labels()
+        else:
+            self._m_samples = None
+            self._m_alerts = None
+            self._m_alarmed = None
         for sender, receiver in pairs:
             self._attach(sender, receiver)
         network.sim.schedule(0, self._tick)
@@ -67,6 +90,8 @@ class BoundMonitor:
 
         def record(offset: int, counter: int, t_fs: int, _link=link) -> None:
             self.samples_seen += 1
+            if self._m_samples is not None:
+                self._m_samples.value += 1
             window = self._windows[_link]
             violated = abs(offset) > self.bound_ticks
             window.append(violated)
@@ -78,11 +103,23 @@ class BoundMonitor:
                     bound_ticks=self.bound_ticks,
                 )
                 self.alerts.append(alert)
+                if self._m_alerts is not None:
+                    self._m_alerts.labels(link=_link).value += 1
                 if (
                     sum(window) >= self.violations_to_alarm
                     and _link not in self.alarmed_links
                 ):
                     self.alarmed_links.add(_link)
+                    if self._tracer is not None:
+                        self._tracer.record(
+                            t_fs,
+                            EV_ALARM,
+                            self._tracer.subject_id(_link),
+                            offset,
+                            self.bound_ticks,
+                        )
+                    if self._m_alarmed is not None:
+                        self._m_alarmed.value = len(self.alarmed_links)
                     if self.on_alarm is not None:
                         self.on_alarm(alert)
 
@@ -106,6 +143,8 @@ class BoundMonitor:
             raise KeyError(f"monitor does not watch link {link!r}")
         window.clear()
         self.alarmed_links.discard(link)
+        if self._m_alarmed is not None:
+            self._m_alarmed.value = len(self.alarmed_links)
 
     @property
     def healthy(self) -> bool:

@@ -62,12 +62,19 @@ class DtpNetwork:
         oscillator_update_interval_fs: int = units.MS,
         syntonized: bool = False,
         device_specs: Optional[Dict[str, PhySpec]] = None,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.streams = streams
         self.spec = spec
         self.config = config or DtpPortConfig()
+        #: Optional :class:`repro.telemetry.Telemetry`; ``None`` (the
+        #: default) leaves every port and the engine on the untouched
+        #: fast path.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach_sim(sim)
         #: SyncE-style frequency synchronization (paper Section 8): every
         #: device recovers the same frequency, so all oscillators share one
         #: skew process (phases still differ — SyncE syntonizes, DTP still
@@ -121,12 +128,14 @@ class DtpNetwork:
                 f"{edge.a}->{edge.b}",
                 config=self._clone_config(),
                 ber=self._make_ber(ber, f"ber/{index}/a"),
+                telemetry=telemetry,
             )
             port_b = DtpPort(
                 self.devices[edge.b],
                 f"{edge.b}->{edge.a}",
                 config=self._clone_config(),
                 ber=self._make_ber(ber, f"ber/{index}/b"),
+                telemetry=telemetry,
             )
             port_a.connect(
                 port_b,

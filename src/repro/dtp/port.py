@@ -38,6 +38,26 @@ from ..phy.cdc import SyncFifo
 from ..phy.pipeline import PhyLatencyConfig
 from ..ethernet.traffic import IdleLink, TrafficModel
 from ..sim.engine import Event, Simulator
+from ..telemetry.events import (
+    EV_JUMP,
+    EV_LOST,
+    EV_OWD,
+    EV_PEER_FAULT,
+    EV_PORT_STATE,
+    EV_REJECT,
+    EV_RX,
+    EV_TX,
+    EV_TX_BLOCKED,
+    LOST_HEADER,
+    LOST_WIRE,
+    REJECT_PARITY,
+    REJECT_RANGE,
+    REJECT_UNDECODABLE,
+    STATE_DOWN,
+    STATE_INIT,
+    STATE_SYNCHRONIZED,
+)
+from ..telemetry.registry import Counter as _StatCounter
 from . import messages as dtpmsg
 from .device import DtpDevice
 
@@ -86,28 +106,151 @@ class DtpPortConfig:
     latency: PhyLatencyConfig = field(default_factory=PhyLatencyConfig)
 
 
-@dataclass
-class PortStats:
-    """Counters for observability and the fault-handling tests."""
+#: Rejection-reason label values for ``dtp_rejected_total``.
+_REJECT_REASONS = ("out_of_range", "parity", "undecodable")
 
-    sent: Dict[str, int] = field(default_factory=dict)
-    received: Dict[str, int] = field(default_factory=dict)
-    jumps: int = 0
-    rejected_out_of_range: int = 0
-    rejected_parity: int = 0
-    rejected_undecodable: int = 0
-    lost_on_wire: int = 0
-    beacons_in_window: int = 0
-    jumps_in_window: int = 0
-    rejects_in_window: int = 0
+
+class PortStats:
+    """Counters for observability and the fault-handling tests.
+
+    Every counter is a telemetry ``Counter`` cell.  A standalone port owns
+    private cells; when the port is built with a
+    :class:`repro.telemetry.Telemetry` object, :meth:`bind_registry`
+    re-homes the cells onto its :class:`~repro.telemetry.MetricsRegistry`
+    so the registry is the single source of truth (Prometheus exposition,
+    snapshots, digests) while this class stays a thin, attribute-compatible
+    view — ``stats.jumps``, ``stats.sent["BEACON"]`` etc. keep working.
+
+    The ``*_in_window`` fields are transient Section 3.2 fault-filter
+    state, not metrics; they stay plain ints.
+    """
+
+    __slots__ = (
+        "_sent",
+        "_received",
+        "_jumps",
+        "_rejected",
+        "_lost_on_wire",
+        "beacons_in_window",
+        "jumps_in_window",
+        "rejects_in_window",
+    )
+
+    def __init__(self) -> None:
+        self._sent: Dict[str, _StatCounter] = {
+            name: _StatCounter() for name in _MTYPE_NAME.values()
+        }
+        self._received: Dict[str, _StatCounter] = {
+            name: _StatCounter() for name in _MTYPE_NAME.values()
+        }
+        self._jumps = _StatCounter()
+        self._rejected: Dict[str, _StatCounter] = {
+            reason: _StatCounter() for reason in _REJECT_REASONS
+        }
+        self._lost_on_wire = _StatCounter()
+        self.beacons_in_window = 0
+        self.jumps_in_window = 0
+        self.rejects_in_window = 0
+
+    def bind_registry(self, registry, port: str) -> None:
+        """Re-home every cell onto ``registry`` (existing values carry over)."""
+        sent = registry.counter(
+            "dtp_messages_sent_total",
+            "DTP messages handed to the wire, by port and message type",
+            labelnames=("port", "type"),
+        )
+        received = registry.counter(
+            "dtp_messages_received_total",
+            "DTP messages decoded by the receiver, by port and message type",
+            labelnames=("port", "type"),
+        )
+        for name in _MTYPE_NAME.values():
+            cell = sent.labels(port=port, type=name)
+            cell.value += self._sent[name].value
+            self._sent[name] = cell
+            cell = received.labels(port=port, type=name)
+            cell.value += self._received[name].value
+            self._received[name] = cell
+        jumps = registry.counter(
+            "dtp_counter_jumps_total",
+            "local-counter adjustments from lc <- max(lc, remote + d)",
+            labelnames=("port",),
+        ).labels(port=port)
+        jumps.value += self._jumps.value
+        self._jumps = jumps
+        rejected = registry.counter(
+            "dtp_rejected_total",
+            "received counters rejected by the Section 3.2 filters",
+            labelnames=("port", "reason"),
+        )
+        for reason in _REJECT_REASONS:
+            cell = rejected.labels(port=port, reason=reason)
+            cell.value += self._rejected[reason].value
+            self._rejected[reason] = cell
+        lost = registry.counter(
+            "dtp_lost_on_wire_total",
+            "blocks destroyed on the wire (drop or corrupted header)",
+            labelnames=("port",),
+        ).labels(port=port)
+        lost.value += self._lost_on_wire.value
+        self._lost_on_wire = lost
+
+    # -- thin view: the original attribute API -------------------------
+    @property
+    def sent(self) -> Dict[str, int]:
+        """Messages sent by type name (types with zero sends omitted)."""
+        return {n: c.value for n, c in self._sent.items() if c.value}
+
+    @property
+    def received(self) -> Dict[str, int]:
+        """Messages received by type name (types with zero receives omitted)."""
+        return {n: c.value for n, c in self._received.items() if c.value}
+
+    @property
+    def jumps(self) -> int:
+        return self._jumps.value
+
+    @jumps.setter
+    def jumps(self, value: int) -> None:
+        self._jumps.value = value
+
+    @property
+    def rejected_out_of_range(self) -> int:
+        return self._rejected["out_of_range"].value
+
+    @rejected_out_of_range.setter
+    def rejected_out_of_range(self, value: int) -> None:
+        self._rejected["out_of_range"].value = value
+
+    @property
+    def rejected_parity(self) -> int:
+        return self._rejected["parity"].value
+
+    @rejected_parity.setter
+    def rejected_parity(self, value: int) -> None:
+        self._rejected["parity"].value = value
+
+    @property
+    def rejected_undecodable(self) -> int:
+        return self._rejected["undecodable"].value
+
+    @rejected_undecodable.setter
+    def rejected_undecodable(self, value: int) -> None:
+        self._rejected["undecodable"].value = value
+
+    @property
+    def lost_on_wire(self) -> int:
+        return self._lost_on_wire.value
+
+    @lost_on_wire.setter
+    def lost_on_wire(self, value: int) -> None:
+        self._lost_on_wire.value = value
 
     def count_sent(self, mtype: dtpmsg.MessageType) -> None:
-        name = _MTYPE_NAME[mtype]
-        self.sent[name] = self.sent.get(name, 0) + 1
+        self._sent[_MTYPE_NAME[mtype]].value += 1
 
     def count_received(self, mtype: dtpmsg.MessageType) -> None:
-        name = _MTYPE_NAME[mtype]
-        self.received[name] = self.received.get(name, 0) + 1
+        self._received[_MTYPE_NAME[mtype]].value += 1
 
 
 class DtpPort:
@@ -120,6 +263,7 @@ class DtpPort:
         config: Optional[DtpPortConfig] = None,
         traffic: Optional[TrafficModel] = None,
         ber: Optional[BitErrorInjector] = None,
+        telemetry=None,
     ) -> None:
         self.device = device
         self.sim: Simulator = device.sim
@@ -142,6 +286,15 @@ class DtpPort:
         self.d: Optional[int] = None
         self.peer_faulty = False
         self.stats = PortStats()
+        #: Trace hook (``repro.telemetry.TraceRecorder`` or None).  The
+        #: disabled state is the ``None`` reference: hot paths pay one
+        #: ``is not None`` test per would-be record and nothing else.
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        #: Interned trace subject id (interned at construction so the
+        #: subject table order follows deterministic port creation order).
+        self._sid = -1 if self._tracer is None else self._tracer.subject_id(name)
+        if telemetry is not None:
+            self.stats.bind_registry(telemetry.registry, name)
         #: Remote counter high bits learned from BEACON_MSB.
         self.remote_msb: Optional[int] = None
         self.on_log: Optional[Callable[[int, int, int], None]] = None
@@ -207,12 +360,16 @@ class DtpPort:
         if self.device.powered_on_fs is None:
             self.device.powered_on_fs = now
         self.state = PortState.INIT
+        if self._tracer is not None:
+            self._tracer.record(now, EV_PORT_STATE, self._sid, STATE_INIT)
         self.lc.set_counter(now, self.device.global_counter(now))
         self._send_init()
 
     def link_down(self) -> None:
         """Stop all port activity (cable pulled / peer died)."""
         self.state = PortState.DOWN
+        if self._tracer is not None:
+            self._tracer.record(self.sim._now, EV_PORT_STATE, self._sid, STATE_DOWN)
         self.d = None
         self.sim.cancel(self._beacon_event)
         self.sim.cancel(self._init_retry_event)
@@ -256,10 +413,14 @@ class DtpPort:
         # descriptor shows up in profiles at that call rate.
         now = self.sim._now
         if self.tx_allow is not None and not self.tx_allow(mtype, now):
+            if self._tracer is not None:
+                self._tracer.record(now, EV_TX_BLOCKED, self._sid, mtype)
             return
         payload = payload_builder(now)
         bits56 = dtpmsg.SHIFTED_TYPE[mtype] | payload
         self.stats.count_sent(mtype)
+        if self._tracer is not None:
+            self._tracer.record(now, EV_TX, self._sid, mtype, payload)
         # Inlined tx_exit_time/advance_ticks (hot path: one call per
         # message sent).
         osc = self.osc
@@ -285,10 +446,14 @@ class DtpPort:
             return
         if wire_bits is None:
             self.stats.lost_on_wire += 1
+            if self._tracer is not None:
+                self._tracer.record(self.sim._now, EV_LOST, self._sid, LOST_WIRE)
             return
         if wire_bits & IDLE_WIRE_HEADER_MASK != IDLE_WIRE_BASE:
             # Sync header or block type corrupted: the PCS drops the block.
             self.stats.lost_on_wire += 1
+            if self._tracer is not None:
+                self._tracer.record(self.sim._now, EV_LOST, self._sid, LOST_HEADER)
             return
         bits56 = wire_bits & IDLE_PAYLOAD_MASK
         # Inlined rx_process_time: CDC quantization + random settling
@@ -323,8 +488,14 @@ class DtpPort:
             mtype, payload = dtpmsg.decode_type_payload(bits56)
         except dtpmsg.MessageError:
             self.stats.rejected_undecodable += 1
+            if self._tracer is not None:
+                self._tracer.record(
+                    self.sim._now, EV_REJECT, self._sid, REJECT_UNDECODABLE
+                )
             return
         self.stats.count_received(mtype)
+        if self._tracer is not None:
+            self._tracer.record(self.sim._now, EV_RX, self._sid, mtype, payload)
         self._handlers[mtype](payload, self.sim._now)
 
     # ------------------------------------------------------------------
@@ -343,6 +514,9 @@ class DtpPort:
         alpha = self.config.alpha * self.device.counter_increment
         self.d = max(0, (lc_now - echoed - alpha) // 2)
         self.state = PortState.SYNCHRONIZED
+        if self._tracer is not None:
+            self._tracer.record(now, EV_OWD, self._sid, self.d, alpha)
+            self._tracer.record(now, EV_PORT_STATE, self._sid, STATE_SYNCHRONIZED)
         self.sim.cancel(self._init_retry_event)
         self._init_retry_event = None
         # Network dynamics: agree on the maximum counter across the link.
@@ -388,6 +562,8 @@ class DtpPort:
         if self.config.parity:
             if not dtpmsg.check_parity(payload):
                 self.stats.rejected_parity += 1
+                if self._tracer is not None:
+                    self._tracer.record(now, EV_REJECT, self._sid, REJECT_PARITY)
                 return
             low = dtpmsg.parity_counter_field(payload)
             remote = dtpmsg.reconstruct_counter(
@@ -404,11 +580,17 @@ class DtpPort:
         if abs(delta) > self._reject_threshold:
             self.stats.rejected_out_of_range += 1
             self.stats.rejects_in_window += 1
+            if self._tracer is not None:
+                self._tracer.record(now, EV_REJECT, self._sid, REJECT_RANGE, delta)
             self._fault_window_tick()
             return
         if self.lc.adjust_to_max(now, candidate):
             self.stats.jumps += 1
             self.stats.jumps_in_window += 1
+            if self._tracer is not None:
+                self._tracer.record(
+                    now, EV_JUMP, self._sid, delta, candidate - lc_now
+                )
             self.device.on_local_jump(self, now)
         self._fault_window_tick()
 
@@ -430,6 +612,10 @@ class DtpPort:
         )
         if too_many_jumps or too_many_rejects:
             self.peer_faulty = True
+            if self._tracer is not None:
+                self._tracer.record(
+                    self.sim._now, EV_PEER_FAULT, self._sid, jumps, rejects
+                )
             if self.on_fault is not None:
                 self.on_fault(self)
 
@@ -451,6 +637,14 @@ class DtpPort:
         candidate = remote + self.d
         if self.lc.adjust_to_max(now, candidate):
             self.stats.jumps += 1
+            if self._tracer is not None:
+                self._tracer.record(
+                    now,
+                    EV_JUMP,
+                    self._sid,
+                    candidate - self.lc.reference_counter_at(now),
+                    candidate - lc_now,
+                )
             self.device.on_join(self, now)
 
     def _on_msb(self, payload: int, now: int) -> None:

@@ -37,6 +37,11 @@ PLOT = False
 #: external plotting tools.
 CSV_DIR = None
 
+#: Set by main() from --trace DIR / --metrics-out DIR; telemetry-capable
+#: experiments run with a Telemetry object and export artifacts.
+TRACE_DIR = None
+METRICS_DIR = None
+
 
 def _maybe_plot(result) -> List[str]:
     outputs = []
@@ -47,6 +52,21 @@ def _maybe_plot(result) -> List[str]:
             render_series(series) for series in result.series if series.values
         )
     return outputs
+
+
+def _telemetry_for_run():
+    """A Telemetry object when --trace/--metrics-out is active, else None."""
+    if TRACE_DIR is None and METRICS_DIR is None:
+        return None
+    from ..telemetry import Telemetry
+
+    return Telemetry()
+
+
+def _export_telemetry(name: str, telemetry) -> List[str]:
+    from .harness import write_telemetry_artifacts
+
+    return write_telemetry_artifacts(name, telemetry, TRACE_DIR, METRICS_DIR)
 
 
 def export_csv(result, directory: str) -> List[str]:
@@ -77,28 +97,39 @@ def _run_fig6a(quick: bool) -> List[str]:
     config = Fig6DtpConfig(
         frame_name="mtu", duration_fs=(6 if quick else 20) * units.MS
     )
-    result = fig6_dtp.run_fig6_dtp(config)
-    return [result.render()] + _maybe_plot(result)
+    telemetry = _telemetry_for_run()
+    result = fig6_dtp.run_fig6_dtp(config, telemetry=telemetry)
+    return (
+        [result.render()]
+        + _maybe_plot(result)
+        + _export_telemetry(result.name, telemetry)
+    )
 
 
 def _run_fig6b(quick: bool) -> List[str]:
     config = Fig6DtpConfig(
         frame_name="jumbo", duration_fs=(6 if quick else 20) * units.MS
     )
-    result = fig6_dtp.run_fig6_dtp(config)
-    return [result.render()] + _maybe_plot(result)
+    telemetry = _telemetry_for_run()
+    result = fig6_dtp.run_fig6_dtp(config, telemetry=telemetry)
+    return (
+        [result.render()]
+        + _maybe_plot(result)
+        + _export_telemetry(result.name, telemetry)
+    )
 
 
 def _run_fig6c(quick: bool) -> List[str]:
     config = Fig6DtpConfig(
         frame_name="jumbo", duration_fs=(10 if quick else 40) * units.MS
     )
-    result, pdfs = fig6_dtp.run_fig6c(config)
+    telemetry = _telemetry_for_run()
+    result, pdfs = fig6_dtp.run_fig6c(config, telemetry=telemetry)
     lines = [result.render(), "--- offset PDFs (ticks -> probability) ---"]
     for label, pdf in sorted(pdfs.items()):
         cells = ", ".join(f"{int(k):+d}: {v:.3f}" for k, v in pdf.items())
         lines.append(f"  {label:10s} {cells}")
-    return lines
+    return lines + _export_telemetry(result.name, telemetry)
 
 
 def _run_fig6_ptp(load: str, quick: bool) -> List[str]:
@@ -194,7 +225,12 @@ def _run_faultlab(quick: bool) -> List[str]:
     # while repro.dtp's own package import is still in flight.
     from ..faultlab import builtin_specs, render_campaign, run_campaign
 
-    results = run_campaign(builtin_specs(quick=quick), base_seed=0)
+    results = run_campaign(
+        builtin_specs(quick=quick),
+        base_seed=0,
+        trace_dir=TRACE_DIR,
+        metrics_dir=METRICS_DIR,
+    )
     return render_campaign(results)
 
 
@@ -239,11 +275,20 @@ GROUPS = {
 }
 
 
-def _run_command_worker(name: str, quick: bool, plot: bool, csv_dir) -> List[str]:
+def _run_command_worker(
+    name: str,
+    quick: bool,
+    plot: bool,
+    csv_dir,
+    trace_dir=None,
+    metrics_dir=None,
+) -> List[str]:
     """Top-level (picklable) entry point for worker processes."""
-    global PLOT, CSV_DIR
+    global PLOT, CSV_DIR, TRACE_DIR, METRICS_DIR
     PLOT = plot
     CSV_DIR = csv_dir
+    TRACE_DIR = trace_dir
+    METRICS_DIR = metrics_dir
     return COMMANDS[name](quick)
 
 
@@ -269,14 +314,26 @@ def main(argv: List[str] = None) -> int:
         help="also dump measured series as CSV files into DIR",
     )
     parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="record deterministic event traces for telemetry-capable "
+        "experiments and write <DIR>/<name>.trace.jsonl",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="DIR", default=None,
+        help="write metrics snapshots (<name>.metrics.json) and Prometheus "
+        "expositions (<name>.prom) into DIR",
+    )
+    parser.add_argument(
         "-j", "--jobs", type=int, default=1, metavar="N",
         help="worker processes for group commands (0 = one per CPU; "
         "results are identical to a serial run)",
     )
     args = parser.parse_args(argv)
-    global PLOT, CSV_DIR
+    global PLOT, CSV_DIR, TRACE_DIR, METRICS_DIR
     PLOT = args.plot
     CSV_DIR = args.csv
+    TRACE_DIR = args.trace
+    METRICS_DIR = args.metrics_out
 
     names = GROUPS.get(args.experiment, [args.experiment])
     jobs = None if args.jobs == 0 else args.jobs
@@ -285,7 +342,14 @@ def main(argv: List[str] = None) -> int:
             ExperimentTask(
                 name=name,
                 fn=_run_command_worker,
-                args=(name, args.quick, args.plot, args.csv),
+                args=(
+                    name,
+                    args.quick,
+                    args.plot,
+                    args.csv,
+                    args.trace,
+                    args.metrics_out,
+                ),
             )
             for name in names
         ],

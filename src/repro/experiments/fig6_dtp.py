@@ -82,8 +82,14 @@ class _LogDriver:
 def run_fig6_dtp(
     config: Fig6DtpConfig,
     pairs: List[Tuple[str, str]] = None,
+    telemetry=None,
 ) -> ExperimentResult:
-    """Run one heavily-loaded DTP precision experiment."""
+    """Run one heavily-loaded DTP precision experiment.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is optional; the
+    default ``None`` keeps the run on the exact untraced code paths, so
+    the published experiment digests are unchanged.
+    """
     pairs = pairs if pairs is not None else FIG6AB_PAIRS
     frame = frame_for(config.frame_name)
     beacon_interval = beacon_interval_ticks_for(frame)
@@ -92,7 +98,7 @@ def run_fig6_dtp(
     streams = RandomStreams(config.seed)
     topology = paper_testbed()
     port_config = DtpPortConfig(beacon_interval_ticks=beacon_interval)
-    net = DtpNetwork(sim, topology, streams, config=port_config)
+    net = DtpNetwork(sim, topology, streams, config=port_config, telemetry=telemetry)
     net.start()
     net.install_traffic(saturated_traffic(config.frame_name), start_tick=20_000)
     for sender, receiver in pairs:
@@ -138,14 +144,44 @@ def run_fig6_dtp(
     return result
 
 
-def run_fig6c(config: Fig6DtpConfig = None) -> Tuple[ExperimentResult, Dict[str, Dict[float, float]]]:
+def run_fig6a_traced_digests(
+    duration_fs: int = 1 * units.MS,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Run a short traced Fig. 6a slice and return its telemetry digests.
+
+    Module-level (hence picklable): the exporter determinism tests run
+    this both serially and through the parallel experiment runner and
+    assert the digests are identical — the trace/metrics byte-stability
+    contract across processes.
+    """
+    from ..telemetry import Telemetry
+
+    telemetry = Telemetry()
+    config = Fig6DtpConfig(
+        frame_name="mtu",
+        duration_fs=duration_fs,
+        warmup_fs=min(duration_fs // 4, 2 * units.MS),
+        seed=seed,
+    )
+    run_fig6_dtp(config, telemetry=telemetry)
+    return {
+        "trace_digest": telemetry.trace_digest(),
+        "metrics_digest": telemetry.metrics_digest(),
+        "trace_recorded": telemetry.tracer.recorded,
+    }
+
+
+def run_fig6c(
+    config: Fig6DtpConfig = None, telemetry=None
+) -> Tuple[ExperimentResult, Dict[str, Dict[float, float]]]:
     """Figure 6c: offset distributions observed at S3 (jumbo frames).
 
     Returns the experiment result plus a per-pair PDF over integer tick
     bins, matching the paper's histogram.
     """
     config = config or Fig6DtpConfig(frame_name="jumbo", duration_fs=40 * units.MS)
-    result = run_fig6_dtp(config, pairs=FIG6C_PAIRS)
+    result = run_fig6_dtp(config, pairs=FIG6C_PAIRS, telemetry=telemetry)
     result.name = "fig6c-dtp-distribution"
     pdfs = {
         series.label: histogram(series.values, bin_width=1.0)

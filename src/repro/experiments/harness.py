@@ -136,6 +136,47 @@ def histogram(values: Sequence[float], bin_width: float = 1.0) -> Dict[float, fl
     return {center: count / total for center, count in sorted(counts.items())}
 
 
+def write_telemetry_artifacts(
+    name: str,
+    telemetry,
+    trace_dir: str = None,
+    metrics_dir: str = None,
+) -> List[str]:
+    """Write one experiment run's telemetry artifacts; returns status lines.
+
+    ``<trace_dir>/<name>.trace.jsonl`` holds the canonical trace;
+    ``<metrics_dir>/<name>.metrics.json`` the digest-stable snapshot and
+    ``<metrics_dir>/<name>.prom`` the Prometheus text exposition.  All
+    content is derived from sim time and seeds, so two same-seed runs write
+    byte-identical files.
+    """
+    import os
+
+    from ..telemetry import write_metrics_json, write_trace_jsonl
+
+    written: List[str] = []
+    if telemetry is None:
+        return written
+    if trace_dir is not None and telemetry.tracer is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        path = os.path.join(trace_dir, f"{name}.trace.jsonl")
+        write_trace_jsonl(path, telemetry.tracer)
+        written.append(
+            f"wrote {path} ({len(telemetry.tracer)} records,"
+            f" {telemetry.tracer.dropped} dropped)"
+        )
+    if metrics_dir is not None:
+        os.makedirs(metrics_dir, exist_ok=True)
+        path = os.path.join(metrics_dir, f"{name}.metrics.json")
+        write_metrics_json(path, telemetry)
+        written.append(f"wrote {path} (digest {telemetry.metrics_digest()[:12]})")
+        path = os.path.join(metrics_dir, f"{name}.prom")
+        with open(path, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write(telemetry.render_prometheus())
+        written.append(f"wrote {path}")
+    return written
+
+
 def format_ns(fs: float) -> str:
     return f"{fs / units.NS:.1f} ns"
 

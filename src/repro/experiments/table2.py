@@ -20,7 +20,9 @@ from ..phy.specs import COMMON_COUNTER_UNIT_FS, SPECS, PhySpec
 from ..sim import units
 from ..sim.engine import Simulator
 from ..sim.randomness import RandomStreams
+from ..telemetry import Telemetry
 from .harness import ExperimentResult
+from .overhead import expected_dtp_message_rate
 
 
 def render_spec_row(spec: PhySpec) -> str:
@@ -36,9 +38,16 @@ def verify_speed(
     duration_fs: int = 2 * units.MS,
     seed: int = 9,
 ) -> Dict[str, object]:
-    """Run two DTP nodes at one PHY speed; check the 4-tick bound holds."""
+    """Run two DTP nodes at one PHY speed; check the 4-tick bound holds.
+
+    Message counts come from the telemetry metrics registry (the single
+    source of truth for port counters), not from ad-hoc stat plumbing:
+    the run carries a metrics-only :class:`~repro.telemetry.Telemetry`
+    and reads ``dtp_messages_sent_total`` back out of it.
+    """
     sim = Simulator()
     streams = RandomStreams(seed)
+    telemetry = Telemetry(trace=False)
     net = DtpNetwork(
         sim,
         star(2),
@@ -46,6 +55,7 @@ def verify_speed(
         spec=spec,
         counter_increment=spec.counter_increment,
         config=DtpPortConfig(beacon_interval_ticks=200),
+        telemetry=telemetry,
     )
     net.start()
     sim.run_until(duration_fs // 4)
@@ -56,6 +66,20 @@ def verify_speed(
         sim.run_until(t)
         worst_units = max(worst_units, net.max_abs_offset())
     bound_units = 4 * spec.counter_increment
+    # Message accounting, read back from the metrics registry.
+    sent_family = telemetry.registry.get("dtp_messages_sent_total")
+    beacons_sent = sum(
+        child.value
+        for key, child in sent_family.samples()
+        if key[sent_family.labelnames.index("type")] == "BEACON"
+    )
+    messages_sent = sum(child.value for _key, child in sent_family.samples())
+    duration_s = duration_fs / units.SEC
+    expected_rate = expected_dtp_message_rate(200, spec.period_fs)
+    # Every port direction sends beacons; each starts after its INIT
+    # exchange, so allow generous slack below the ideal rate.
+    directions = 2 * len(net.topology.edges)
+    beacon_rate = beacons_sent / directions / duration_s
     # Counter units are COMMON_COUNTER_UNIT_FS (0.32 ns) each.
     return {
         "speed": spec.name,
@@ -64,6 +88,11 @@ def verify_speed(
         "bound_counter_units": bound_units,
         "bound_ns": bound_units * COMMON_COUNTER_UNIT_FS / units.NS,
         "within_bound": worst_units <= bound_units,
+        "messages_sent": messages_sent,
+        "beacons_sent": beacons_sent,
+        "beacon_rate_per_dir_per_s": beacon_rate,
+        "expected_beacon_rate_per_s": expected_rate,
+        "beacon_rate_plausible": 0.5 * expected_rate <= beacon_rate <= 1.1 * expected_rate,
     }
 
 
@@ -82,9 +111,13 @@ def run_table2(duration_fs: int = 2 * units.MS, seed: int = 9) -> ExperimentResu
         verdicts.append(verdict)
         result.summary[f"verify_{spec.name}"] = (
             f"worst={verdict['worst_offset_ns']:.2f} ns "
-            f"bound={verdict['bound_ns']:.2f} ns ok={verdict['within_bound']}"
+            f"bound={verdict['bound_ns']:.2f} ns ok={verdict['within_bound']} "
+            f"beacons/s/dir={verdict['beacon_rate_per_dir_per_s']:.0f}"
         )
     result.summary["all_speeds_within_bound"] = all(
         verdict["within_bound"] for verdict in verdicts
+    )
+    result.summary["all_message_rates_plausible"] = all(
+        verdict["beacon_rate_plausible"] for verdict in verdicts
     )
     return result

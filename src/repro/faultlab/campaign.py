@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from typing import Callable, Dict, Iterable, List, Optional
 
 from .. import metrics
@@ -39,8 +40,9 @@ from ..experiments.parallel import ExperimentTask, derive_seed, run_named_tasks
 from ..network import topology as topo
 from ..sim.engine import Simulator
 from ..sim.randomness import RandomStreams
+from ..telemetry import Telemetry, dump_flight, write_metrics_json, write_trace_jsonl
 from .faults import FAULT_KINDS, FaultContext, FaultModel
-from .invariants import InvariantChecker
+from .invariants import InvariantChecker, InvariantViolation
 
 
 class CampaignError(ValueError):
@@ -115,15 +117,33 @@ def build_fault(spec: Dict[str, object], index: int = 0) -> FaultModel:
         raise CampaignError(f"bad parameters for fault {name!r}: {exc}") from exc
 
 
+def _artifact(directory: str, scenario: str, suffix: str) -> str:
+    """``<directory>/<scenario>.<suffix>``, creating the directory."""
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, f"{scenario}.{suffix}")
+
+
 def run_scenario(
     spec: Dict[str, object],
     seed: int = 0,
     sim_factory: Callable[[], object] = Simulator,
+    telemetry: Optional[Telemetry] = None,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run one scenario and return its (canonically JSON-able) metrics.
 
     ``sim_factory`` exists for the reference-vs-optimized equivalence
     tests, which substitute the verbatim seed engine.
+
+    Telemetry is opt-in: with everything at its default the run takes the
+    exact pre-telemetry code paths.  Passing any artifact directory turns a
+    default :class:`~repro.telemetry.Telemetry` on; artifacts are written
+    as ``<scenario>.trace.jsonl`` / ``<scenario>.metrics.json`` +
+    ``<scenario>.prom`` / ``<scenario>.flight.jsonl``.  The flight artifact
+    is written whenever the invariant checker recorded or raised a
+    violation (on a raise the artifact is written before re-raising).
     """
     unknown = set(spec) - _SPEC_KEYS
     if unknown:
@@ -135,6 +155,9 @@ def run_scenario(
     if duration_fs <= 0:
         raise CampaignError("duration_fs must be positive")
 
+    if telemetry is None and (trace_dir or metrics_dir or flight_dir):
+        telemetry = Telemetry()
+
     sim = sim_factory()
     streams = RandomStreams(root_seed=seed)
     topology = build_topology(spec["topology"])
@@ -145,7 +168,9 @@ def run_scenario(
         if skew_ppm
         else None
     )
-    network = DtpNetwork(sim, topology, streams, config=config, skews=skews)
+    network = DtpNetwork(
+        sim, topology, streams, config=config, skews=skews, telemetry=telemetry
+    )
     checker = InvariantChecker(network, **spec.get("checker", {}))
 
     context = FaultContext(network=network, streams=streams, checker=checker)
@@ -175,7 +200,53 @@ def run_scenario(
         sim.schedule(sample_interval_fs, _sample)
 
     sim.schedule_at(sim.now, _sample)
-    sim.run_until(duration_fs)
+    try:
+        sim.run_until(duration_fs)
+    except InvariantViolation as exc:
+        if telemetry is not None and flight_dir is not None:
+            _flight_path = _artifact(flight_dir, name, "flight.jsonl")
+            dump_flight(
+                _flight_path,
+                telemetry,
+                name,
+                seed,
+                sim.now,
+                context=dict(
+                    exc.context, violation=exc.violation.as_dict()
+                ),
+            )
+        raise
+
+    if telemetry is not None:
+        if flight_dir is not None and checker.total_violations:
+            dump_flight(
+                _artifact(flight_dir, name, "flight.jsonl"),
+                telemetry,
+                name,
+                seed,
+                sim.now,
+                context=dict(
+                    checker.snapshot_context(),
+                    violation=checker.violations[0].as_dict()
+                    if checker.violations
+                    else {},
+                ),
+            )
+        if trace_dir is not None and telemetry.tracer is not None:
+            write_trace_jsonl(
+                _artifact(trace_dir, name, "trace.jsonl"), telemetry.tracer
+            )
+        if metrics_dir is not None:
+            write_metrics_json(
+                _artifact(metrics_dir, name, "metrics.json"), telemetry
+            )
+            with open(
+                _artifact(metrics_dir, name, "prom"),
+                "w",
+                encoding="utf-8",
+                newline="\n",
+            ) as handle:
+                handle.write(telemetry.render_prometheus())
 
     recovery = {
         reason: {
@@ -185,7 +256,18 @@ def run_scenario(
         }
         for reason, durations in sorted(checker.recovery_fs.items())
     }
-    return {
+    result: Dict[str, object] = {}
+    if telemetry is not None:
+        # Only present on telemetry runs so telemetry-off results (and
+        # their digests) are byte-identical to the pre-telemetry code.
+        result["telemetry"] = {
+            "metrics_digest": telemetry.metrics_digest(),
+            "trace_digest": telemetry.trace_digest(),
+            "trace_recorded": (
+                telemetry.tracer.recorded if telemetry.tracer is not None else 0
+            ),
+        }
+    result.update({
         "scenario": name,
         "seed": seed,
         "duration_fs": duration_fs,
@@ -209,7 +291,8 @@ def run_scenario(
         "first_violations": [
             violation.as_dict() for violation in checker.violations[:5]
         ],
-    }
+    })
+    return result
 
 
 def metrics_digest(obj: object) -> str:
@@ -218,21 +301,37 @@ def metrics_digest(obj: object) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _scenario_task(spec: Dict[str, object], seed: int) -> Dict[str, object]:
+def _scenario_task(
+    spec: Dict[str, object],
+    seed: int,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+) -> Dict[str, object]:
     """Module-level (hence picklable) worker for the parallel runner."""
-    return run_scenario(spec, seed=seed)
+    return run_scenario(
+        spec,
+        seed=seed,
+        trace_dir=trace_dir,
+        metrics_dir=metrics_dir,
+        flight_dir=flight_dir,
+    )
 
 
 def run_campaign(
     specs: Iterable[Dict[str, object]],
     base_seed: int = 0,
     jobs: Optional[int] = 1,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Run many scenarios, each seeded from ``(base_seed, scenario name)``.
 
     Returns an ordered ``{scenario name: metrics}`` dict.  ``jobs > 1``
     fans out over worker processes via the parallel experiment runner;
-    results are byte-identical to the serial path.
+    results — and any telemetry artifacts written to the ``*_dir``
+    directories — are byte-identical to the serial path.
     """
     tasks = []
     for spec in specs:
@@ -240,7 +339,16 @@ def run_campaign(
             raise CampaignError("campaign scenarios need a 'name'")
         name = str(spec["name"])
         tasks.append(
-            ExperimentTask(name, _scenario_task, (spec, derive_seed(base_seed, name)))
+            ExperimentTask(
+                name,
+                _scenario_task,
+                (spec, derive_seed(base_seed, name)),
+                {
+                    "trace_dir": trace_dir,
+                    "metrics_dir": metrics_dir,
+                    "flight_dir": flight_dir,
+                },
+            )
         )
     return run_named_tasks(tasks, jobs=jobs)
 

@@ -53,6 +53,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list built-in scenarios and exit"
     )
+    parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="record a trace per scenario and write <DIR>/<name>.trace.jsonl",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="DIR", default=None,
+        help="write <DIR>/<name>.metrics.json and <DIR>/<name>.prom "
+        "(Prometheus text exposition) per scenario",
+    )
+    parser.add_argument(
+        "--dump-trace", metavar="DIR", default=None,
+        help="write a flight-recorder artifact <DIR>/<name>.flight.jsonl "
+        "for every scenario that records or raises an invariant violation",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -66,7 +80,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(str(exc))
 
     jobs = None if args.jobs == 0 else args.jobs
-    results = run_campaign(specs, base_seed=args.seed, jobs=jobs)
+    results = run_campaign(
+        specs,
+        base_seed=args.seed,
+        jobs=jobs,
+        trace_dir=args.trace,
+        metrics_dir=args.metrics_out,
+        flight_dir=args.dump_trace,
+    )
     if args.json:
         print(json.dumps(results, sort_keys=True, separators=(",", ":")))
     else:

@@ -35,6 +35,12 @@ from ..dtp import messages as dtpmsg
 from ..dtp.analysis import DIRECT_BOUND_TICKS
 from ..dtp.network import DtpNetwork
 from ..sim import units
+from ..telemetry.events import (
+    EV_CHECK,
+    EV_QUARANTINE,
+    EV_RELEASE,
+    EV_VIOLATION,
+)
 
 INVARIANT_PAIR_BOUND = "pair-bound"
 INVARIANT_MONOTONIC = "gc-monotonic"
@@ -131,6 +137,32 @@ class InvariantChecker:
         #: node -> (fault reason, healing since, peers that must be back
         #: in bound before the node counts as recovered).
         self._healing: Dict[str, Tuple[str, int, FrozenSet[str]]] = {}
+        # Telemetry rides along with the network's (None = disabled).
+        telemetry = getattr(network, "telemetry", None)
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._m_checks = registry.counter(
+                "invariant_checks_total", "invariant-checker ticks executed"
+            ).labels()
+            self._m_pairs = registry.counter(
+                "invariant_pairs_checked_total",
+                "node pairs evaluated against the 4TD bound",
+            ).labels()
+            self._m_violations = registry.counter(
+                "invariant_violations_total",
+                "invariant violations recorded, by invariant",
+                labelnames=("invariant",),
+            )
+            self._m_quarantined = registry.gauge(
+                "invariant_quarantined_nodes",
+                "nodes currently excluded from checking by active faults",
+            ).labels()
+        else:
+            self._m_checks = None
+            self._m_pairs = None
+            self._m_violations = None
+            self._m_quarantined = None
         self._event = network.sim.schedule_at(
             max(start_fs, network.sim.now), self._tick
         )
@@ -143,6 +175,15 @@ class InvariantChecker:
         for node in nodes:
             self._check_node(node)
             self._quarantined[node] = reason
+            if self._tracer is not None:
+                self._tracer.record(
+                    self.network.sim.now,
+                    EV_QUARANTINE,
+                    self._tracer.subject_id(node),
+                    self._tracer.subject_id(reason),
+                )
+        if self._m_quarantined is not None:
+            self._m_quarantined.value = len(self._quarantined)
 
     def release(
         self,
@@ -163,6 +204,15 @@ class InvariantChecker:
             self._check_node(node)
             self._quarantined.pop(node, None)
             self._healing[node] = (reason, now, required)
+            if self._tracer is not None:
+                self._tracer.record(
+                    now,
+                    EV_RELEASE,
+                    self._tracer.subject_id(node),
+                    self._tracer.subject_id(reason),
+                )
+        if self._m_quarantined is not None:
+            self._m_quarantined.value = len(self._quarantined)
 
     def notify_counter_reset(self, node: str) -> None:
         """A device's counter was legitimately reset (crash-and-restart)."""
@@ -290,6 +340,8 @@ class InvariantChecker:
         sim = self.network.sim
         now = sim.now
         self.checks_run += 1
+        pairs_before = self.pairs_checked
+        violations_before = self.total_violations
         devices = self.network.devices
         counters = {
             name: devices[name].global_counter(now) for name in self._nodes
@@ -301,6 +353,18 @@ class InvariantChecker:
         self._check_pair_bounds(now, counters, distances)
         self._update_connectivity_epochs(now, counters, distances)
         self._check_recoveries(now, counters, distances)
+
+        if self._m_checks is not None:
+            self._m_checks.value += 1
+            self._m_pairs.value += self.pairs_checked - pairs_before
+        if self._tracer is not None:
+            self._tracer.record(
+                now,
+                EV_CHECK,
+                self._tracer.subject_id("invariant-checker"),
+                self.pairs_checked - pairs_before,
+                self.total_violations - violations_before,
+            )
 
         self._event = sim.schedule(self.interval_fs, self._tick)
 
@@ -457,8 +521,26 @@ class InvariantChecker:
         self.counts[invariant] = self.counts.get(invariant, 0) + 1
         if len(self.violations) < self.max_recorded:
             self.violations.append(violation)
+        if self._m_violations is not None:
+            self._m_violations.labels(invariant=invariant).value += 1
+        if self._tracer is not None:
+            self._tracer.record(
+                now,
+                EV_VIOLATION,
+                self._tracer.subject_id(subject),
+                self._tracer.subject_id(invariant),
+            )
         if self.raise_on_violation:
             raise InvariantViolation(violation, self._context(now))
+
+    def snapshot_context(self, now: Optional[int] = None) -> Dict[str, object]:
+        """Public snapshot of the checker's full event context.
+
+        The same structure :class:`InvariantViolation` carries; the flight
+        recorder uses it to annotate artifacts for violations that were
+        recorded without raising.
+        """
+        return self._context(self.network.sim.now if now is None else now)
 
     def _context(self, now: int) -> Dict[str, object]:
         """Full event context for post-mortem debugging."""

@@ -88,6 +88,10 @@ class Simulator:
         self._queue: List[Tuple[int, int, Callable[..., Any], tuple, Event]] = []
         self._pending = 0
         self._cancelled_in_queue = 0
+        #: Optional dispatch profiler (``repro.telemetry.DispatchProfile``):
+        #: any object with a ``count(fn)`` method.  ``None`` keeps the
+        #: dispatch loops on a branch that never touches it.
+        self.profile: Optional[Any] = None
 
     @property
     def now(self) -> int:
@@ -168,6 +172,7 @@ class Simulator:
         """Run the single next event.  Returns False if the queue is empty."""
         queue = self._queue
         pop = heapq.heappop
+        profile = self.profile
         while queue:
             time_fs, _seq, fn, args, event = pop(queue)
             if event.cancelled:
@@ -175,6 +180,8 @@ class Simulator:
                 continue
             self._pending -= 1
             self._now = time_fs
+            if profile is not None:
+                profile.count(fn)
             fn(*args)
             return True
         return False
@@ -191,18 +198,37 @@ class Simulator:
             )
         queue = self._queue
         pop = heapq.heappop
-        while queue:
-            entry = queue[0]
-            when = entry[0]
-            if when > time_fs:
-                break
-            pop(queue)
-            if entry[4].cancelled:
-                self._cancelled_in_queue -= 1
-                continue
-            self._pending -= 1
-            self._now = when
-            entry[2](*entry[3])
+        profile = self.profile
+        if profile is None:
+            # Hot path: kept free of any telemetry reads so enabling the
+            # feature elsewhere cannot slow an unprofiled run.
+            while queue:
+                entry = queue[0]
+                when = entry[0]
+                if when > time_fs:
+                    break
+                pop(queue)
+                if entry[4].cancelled:
+                    self._cancelled_in_queue -= 1
+                    continue
+                self._pending -= 1
+                self._now = when
+                entry[2](*entry[3])
+        else:
+            count = profile.count
+            while queue:
+                entry = queue[0]
+                when = entry[0]
+                if when > time_fs:
+                    break
+                pop(queue)
+                if entry[4].cancelled:
+                    self._cancelled_in_queue -= 1
+                    continue
+                self._pending -= 1
+                self._now = when
+                count(entry[2])
+                entry[2](*entry[3])
         self._now = time_fs
 
     def run(self, max_events: Optional[int] = None) -> int:

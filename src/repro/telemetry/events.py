@@ -1,0 +1,107 @@
+"""The trace event taxonomy: integer-only, deterministic records.
+
+Every trace record is a 5-tuple of plain ints::
+
+    (time_fs, kind, subject, a, b)
+
+``time_fs`` is simulation time (femtoseconds), ``kind`` is one of the
+``EV_*`` codes below, ``subject`` is an interned subject id (a port, node,
+link or component name — see :meth:`TraceRecorder.subject_id`), and ``a`` /
+``b`` are kind-specific integer arguments.  Keeping records integer-only is
+what makes trace artifacts byte-stable for a given seed: no floats, no
+wall-clock values, no object reprs ever enter the stream (wall-clock
+profiling lives in the metrics registry's digest-excluded section instead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Port FSM transition.  a = new state code (:data:`STATE_CODES`), b = 0.
+EV_PORT_STATE = 1
+#: Message handed to the wire.  a = message type code, b = 53-bit payload.
+EV_TX = 2
+#: Message dropped at the TX gate (``DtpPort.tx_allow``).  a = type code.
+EV_TX_BLOCKED = 3
+#: Message decoded by the receiver.  a = message type code, b = payload.
+EV_RX = 4
+#: Block destroyed on the wire.  a = :data:`LOST_WIRE` (dropped outright)
+#: or :data:`LOST_HEADER` (sync header / block type corrupted).
+EV_LOST = 5
+#: Received counter rejected (Section 3.2 filters).  a = reason code
+#: (:data:`REJECT_RANGE` / :data:`REJECT_PARITY` / :data:`REJECT_UNDECODABLE`),
+#: b = the offending delta in counter units (0 when undecodable).
+EV_REJECT = 6
+#: INIT/INIT-ACK one-way-delay measurement completed (transition T2).
+#: a = measured ``d`` in counter units, b = alpha in counter units.
+EV_OWD = 7
+#: ``lc <- max(lc, remote + d)`` actually moved the counter (T4/JOIN).
+#: a = delta vs the free-running reference, b = the applied jump size.
+EV_JUMP = 8
+#: Peer declared faulty by the Section 3.2 window filter.
+#: a = jumps in the window, b = rejects in the window.
+EV_PEER_FAULT = 9
+#: One invariant-checker tick.  a = pairs checked this tick,
+#: b = violations recorded this tick.
+EV_CHECK = 10
+#: One invariant violation.  subject = violated subject (node or pair),
+#: a = interned invariant name id, b = 0.
+EV_VIOLATION = 11
+#: Fault injected: node quarantined from the invariant checker.
+#: a = interned fault reason id.
+EV_QUARANTINE = 12
+#: Fault healed: node released back to checking.  a = interned reason id.
+EV_RELEASE = 13
+#: BoundMonitor alarm.  subject = link, a = offset ticks, b = bound ticks.
+EV_ALARM = 14
+
+KIND_NAMES: Dict[int, str] = {
+    EV_PORT_STATE: "port-state",
+    EV_TX: "tx",
+    EV_TX_BLOCKED: "tx-blocked",
+    EV_RX: "rx",
+    EV_LOST: "lost",
+    EV_REJECT: "reject",
+    EV_OWD: "owd",
+    EV_JUMP: "jump",
+    EV_PEER_FAULT: "peer-fault",
+    EV_CHECK: "invariant-check",
+    EV_VIOLATION: "invariant-violation",
+    EV_QUARANTINE: "fault-inject",
+    EV_RELEASE: "fault-recover",
+    EV_ALARM: "monitor-alarm",
+}
+
+#: ``EV_PORT_STATE`` argument ``a``: the port FSM state.
+STATE_DOWN = 0
+STATE_INIT = 1
+STATE_SYNCHRONIZED = 2
+STATE_CODES: Dict[int, str] = {
+    STATE_DOWN: "down",
+    STATE_INIT: "init",
+    STATE_SYNCHRONIZED: "synchronized",
+}
+
+#: ``EV_LOST`` argument ``a``.
+LOST_WIRE = 1
+LOST_HEADER = 2
+
+#: ``EV_REJECT`` argument ``a``.
+REJECT_RANGE = 1
+REJECT_PARITY = 2
+REJECT_UNDECODABLE = 3
+
+
+def kind_name(kind: int) -> str:
+    """Human-readable name of an event kind (``kind-<n>`` if unknown)."""
+    return KIND_NAMES.get(kind, f"kind-{kind}")
+
+
+def describe(record: Tuple[int, int, int, int, int], subjects) -> str:
+    """One-line rendering of a record against a subject table."""
+    time_fs, kind, subject, a, b = record
+    try:
+        who = subjects[subject]
+    except (IndexError, KeyError):
+        who = f"subject-{subject}"
+    return f"t={time_fs} {kind_name(kind)} {who} a={a} b={b}"

@@ -1,0 +1,218 @@
+"""Trace export: canonical JSONL and Chrome trace-event (Perfetto) JSON.
+
+The JSONL format is the canonical on-disk trace: one canonical-JSON object
+per line (sorted keys, no whitespace), so the file bytes — and therefore
+:func:`trace_digest` — are stable for a given seed.  Layout::
+
+    {"record":"trace-header","version":1,...,"subjects":[...]}
+    {"a":..,"b":..,"k":<kind>,"s":<subject>,"t":<time_fs>}
+    ...
+
+The Chrome trace-event format is a lossy *view* for humans: open the file
+at https://ui.perfetto.dev (or chrome://tracing).  Each subject becomes a
+named thread; every record becomes an instant event with its integer
+arguments attached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from .events import KIND_NAMES, kind_name
+from .trace import TraceRecord, TraceRecorder
+
+TRACE_HEADER = "trace-header"
+
+#: Chrome trace timestamps are microseconds; sim time is femtoseconds.
+_FS_PER_US = 1_000_000_000
+
+
+def _canonical(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def trace_lines(tracer: TraceRecorder) -> Iterator[str]:
+    """The canonical JSONL lines of a recorder (header first)."""
+    yield _canonical(
+        {
+            "record": TRACE_HEADER,
+            "version": 1,
+            "capacity": tracer.capacity,
+            "recorded": tracer.recorded,
+            "dropped": tracer.dropped,
+            "kinds": {str(code): name for code, name in sorted(KIND_NAMES.items())},
+            "subjects": tracer.subjects,
+        }
+    )
+    for time_fs, kind, subject, a, b in tracer.records:
+        yield _canonical({"a": a, "b": b, "k": kind, "s": subject, "t": time_fs})
+
+
+def write_trace_jsonl(path: str, tracer: TraceRecorder) -> None:
+    """Write the recorder to ``path`` as canonical JSONL."""
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        for line in trace_lines(tracer):
+            handle.write(line + "\n")
+
+
+def trace_digest(tracer: TraceRecorder) -> str:
+    """sha256 over the exact JSONL bytes :func:`write_trace_jsonl` writes."""
+    h = hashlib.sha256()
+    for line in trace_lines(tracer):
+        h.update(line.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def read_trace_jsonl(
+    path: str,
+) -> Tuple[Dict[str, object], List[TraceRecord]]:
+    """Load a JSONL trace (or flight) file: ``(header, records)``.
+
+    Accepts any artifact whose first line is a ``"record"``-tagged header
+    and whose record lines carry ``t``/``k``/``s``/``a``/``b`` int fields;
+    non-record object lines (metrics, context) are ignored here — use
+    :func:`repro.telemetry.flight.load_flight` for the full structure.
+    """
+    header: Dict[str, object] = {}
+    records: List[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle):
+            obj = json.loads(line)
+            if lineno == 0:
+                if "record" not in obj:
+                    raise ValueError(f"{path}: first line is not a header")
+                header = obj
+                continue
+            if "record" in obj:
+                continue
+            records.append(
+                (obj["t"], obj["k"], obj["s"], obj["a"], obj["b"])
+            )
+    return header, records
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace_events(
+    records: Iterable[TraceRecord], subjects: List[str], pid: int = 1
+) -> List[Dict[str, object]]:
+    """Chrome trace-event dicts: thread-name metadata + instant events."""
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro-sim"},
+        }
+    ]
+    for sid, name in enumerate(subjects):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": sid,
+                "args": {"name": name},
+            }
+        )
+    for time_fs, kind, subject, a, b in records:
+        events.append(
+            {
+                "name": kind_name(kind),
+                "ph": "i",
+                "s": "t",
+                "ts": time_fs / _FS_PER_US,
+                "pid": pid,
+                "tid": subject,
+                "args": {"a": a, "b": b, "time_fs": time_fs},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    records: Iterable[TraceRecord],
+    subjects: List[str],
+) -> None:
+    """Write a Perfetto-loadable Chrome trace JSON file."""
+    document = {
+        "displayTimeUnit": "ns",
+        "traceEvents": chrome_trace_events(records, subjects),
+    }
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Metrics artifact
+# ----------------------------------------------------------------------
+def write_metrics_json(path: str, telemetry) -> None:
+    """Write the digest-stable metrics snapshot (+ its digest) to ``path``.
+
+    Only the digest-included section is written, so the file is
+    byte-identical across two same-seed runs; wall-clock values are
+    deliberately absent (they live in the Prometheus exposition only).
+    """
+    snapshot = telemetry.metrics_snapshot()
+    document = {"digest": telemetry.metrics_digest(), "metrics": snapshot["metrics"]}
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(_canonical(document) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+def summarize_records(
+    header: Dict[str, object],
+    records: List[TraceRecord],
+    top_subjects: int = 10,
+) -> List[str]:
+    """Human-readable summary lines for a loaded trace."""
+    subjects = list(header.get("subjects", []))
+
+    def subject_name(sid: int) -> str:
+        return subjects[sid] if 0 <= sid < len(subjects) else f"subject-{sid}"
+
+    lines = [
+        f"records: {len(records)} buffered"
+        f" ({header.get('recorded', len(records))} recorded,"
+        f" {header.get('dropped', 0)} dropped)",
+        f"subjects: {len(subjects)}",
+    ]
+    if records:
+        lines.append(
+            f"span: {records[0][0]} fs .. {records[-1][0]} fs"
+            f" ({(records[-1][0] - records[0][0]) / 1e12:.3f} ms)"
+        )
+    by_kind: Dict[int, int] = {}
+    by_subject: Dict[int, int] = {}
+    for _t, kind, subject, _a, _b in records:
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        by_subject[subject] = by_subject.get(subject, 0) + 1
+    lines.append("by kind:")
+    for kind in sorted(by_kind, key=lambda k: (-by_kind[k], k)):
+        lines.append(f"  {kind_name(kind):20s} {by_kind[kind]:8d}")
+    lines.append(f"busiest subjects (top {top_subjects}):")
+    ranked = sorted(by_subject, key=lambda s: (-by_subject[s], s))
+    for sid in ranked[:top_subjects]:
+        lines.append(f"  {subject_name(sid):24s} {by_subject[sid]:8d}")
+    return lines
+
+
+def file_sha256(path: str) -> str:
+    """sha256 of a file's bytes (the artifact determinism contract)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            h.update(chunk)
+    return h.hexdigest()

@@ -1,0 +1,68 @@
+"""Engine dispatch profiling: per-callback-category event counters.
+
+The simulation engine's dispatch loop is the hottest code in the repo, so
+profiling hooks must cost nothing when off.  :class:`~repro.sim.engine.Simulator`
+carries a ``profile`` attribute that defaults to ``None``; when an object
+with a ``count(fn)`` method is installed, the engine counts every dispatch
+by callback.  :class:`DispatchProfile` categorizes by the callback's
+``__qualname__`` (e.g. ``DtpPort._transmit_now``), which is stable across
+runs and collapses the per-message bound methods into per-category totals.
+
+Dispatch counts are a pure function of the simulation, so they live in the
+digest-*included* metrics section; wall-clock timings recorded next to
+them (:meth:`DispatchProfile.record_wall_ns`) are digest-excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .registry import MetricsRegistry
+
+
+class DispatchProfile:
+    """Counts engine dispatches by callback category."""
+
+    __slots__ = ("counts", "wall_ns")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        #: Named wall-clock durations (digest-excluded on export).
+        self.wall_ns: Dict[str, int] = {}
+
+    def count(self, fn) -> None:
+        """Called by the engine for every dispatched event."""
+        category = getattr(fn, "__qualname__", None) or type(fn).__name__
+        counts = self.counts
+        counts[category] = counts.get(category, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def record_wall_ns(self, name: str, duration_ns: int) -> None:
+        """Record a wall-clock duration (kept out of every digest)."""
+        self.wall_ns[name] = int(duration_ns)
+
+    def into_registry(self, registry: MetricsRegistry) -> None:
+        """Fold the profile into ``registry`` (idempotent: values are set).
+
+        Dispatch counts land in ``sim_dispatch_total{category=...}``;
+        wall-clock durations land in the digest-excluded
+        ``wallclock_ns{name=...}`` gauge family.
+        """
+        dispatch = registry.counter(
+            "sim_dispatch_total",
+            "engine events dispatched, by callback category",
+            labelnames=("category",),
+        )
+        for category in sorted(self.counts):
+            dispatch.labels(category=category).value = self.counts[category]
+        if self.wall_ns:
+            wall = registry.gauge(
+                "wallclock_ns",
+                "wall-clock durations (never part of any digest)",
+                labelnames=("name",),
+                include_in_digest=False,
+            )
+            for name in sorted(self.wall_ns):
+                wall.labels(name=name).value = self.wall_ns[name]

@@ -92,6 +92,9 @@ class TestTables:
         result = table2.run_table2(duration_fs=units.MS)
         assert result.summary["all_speeds_within_bound"]
         assert result.summary["increments_common_unit"]
+        # Message counts are read back from the telemetry registry; the
+        # implied beacon rate must match the paper's overhead analysis.
+        assert result.summary["all_message_rates_plausible"]
 
 
 class TestBounds:
