@@ -2,9 +2,11 @@
 
 ``repro faultlab ...`` dispatches to the fault-campaign CLI
 (:mod:`repro.faultlab.cli`), ``repro trace ...`` to the telemetry CLI
-(:mod:`repro.telemetry.cli`); anything else goes to the experiment driver
-(:mod:`repro.experiments.cli`), so ``repro fig6a --quick`` keeps working
-exactly like ``dtp-repro fig6a --quick``.
+(:mod:`repro.telemetry.cli`), ``repro resilience ...`` to the
+checkpoint-journal / failure-report inspector
+(:mod:`repro.resilience.cli`); anything else goes to the experiment
+driver (:mod:`repro.experiments.cli`), so ``repro fig6a --quick`` keeps
+working exactly like ``dtp-repro fig6a --quick``.
 """
 
 from __future__ import annotations
@@ -25,6 +27,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .telemetry.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "resilience":
+        from .resilience.cli import main as resilience_main
+
+        return resilience_main(argv[1:])
     from .experiments.cli import main as experiments_main
 
     return experiments_main(argv)

@@ -75,7 +75,10 @@ def export_csv(result, directory: str) -> List[str]:
     Returns one status line per file written.
     """
     import csv
+    import io
     import os
+
+    from ..ioutil import atomic_write_text
 
     os.makedirs(directory, exist_ok=True)
     written = []
@@ -84,11 +87,12 @@ def export_csv(result, directory: str) -> List[str]:
             continue
         safe_label = series.label.replace("/", "_")
         path = os.path.join(directory, f"{result.name}.{safe_label}.csv")
-        with open(path, "w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(["time_fs", series.label])
-            for t, value in zip(series.times_fs, series.values):
-                writer.writerow([t, value])
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        writer.writerow(["time_fs", series.label])
+        for t, value in zip(series.times_fs, series.values):
+            writer.writerow([t, value])
+        atomic_write_text(path, buffer.getvalue())
         written.append(f"wrote {path} ({len(series)} rows)")
     return written
 
@@ -328,6 +332,27 @@ def main(argv: List[str] = None) -> int:
         help="worker processes for group commands (0 = one per CPU; "
         "results are identical to a serial run)",
     )
+    parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="checkpoint completed experiments to this JSONL journal and "
+        "resume from it on re-run (implies supervised execution; "
+        "see docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment wall-clock watchdog (implies supervised "
+        "execution)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per experiment before quarantine (default 3; "
+        "implies supervised execution)",
+    )
+    parser.add_argument(
+        "--failure-report", metavar="PATH", default=None,
+        help="write a machine-readable failure report as JSON (implies "
+        "supervised execution)",
+    )
     args = parser.parse_args(argv)
     global PLOT, CSV_DIR, TRACE_DIR, METRICS_DIR
     PLOT = args.plot
@@ -337,28 +362,75 @@ def main(argv: List[str] = None) -> int:
 
     names = GROUPS.get(args.experiment, [args.experiment])
     jobs = None if args.jobs == 0 else args.jobs
-    outputs = run_tasks(
-        [
-            ExperimentTask(
-                name=name,
-                fn=_run_command_worker,
-                args=(
-                    name,
-                    args.quick,
-                    args.plot,
-                    args.csv,
-                    args.trace,
-                    args.metrics_out,
-                ),
-            )
-            for name in names
-        ],
-        jobs=jobs,
+    tasks = [
+        ExperimentTask(
+            name=name,
+            fn=_run_command_worker,
+            args=(
+                name,
+                args.quick,
+                args.plot,
+                args.csv,
+                args.trace,
+                args.metrics_out,
+            ),
+        )
+        for name in names
+    ]
+    supervised = any(
+        value is not None
+        for value in (
+            args.journal, args.task_timeout, args.retries, args.failure_report
+        )
     )
-    for blocks in outputs:
-        for block in blocks:
+    if not supervised:
+        outputs = run_tasks(tasks, jobs=jobs)
+        for blocks in outputs:
+            for block in blocks:
+                print(block)
+                print()
+        return 0
+
+    import json
+
+    from ..ioutil import atomic_write_text
+    from ..resilience import CheckpointJournal, SupervisorPolicy, run_supervised
+
+    policy = SupervisorPolicy(
+        timeout_s=args.task_timeout,
+        max_attempts=args.retries if args.retries is not None else 3,
+    )
+    journal = None
+    if args.journal is not None:
+        journal = CheckpointJournal(
+            args.journal,
+            meta={"campaign": "dtp-repro", "experiment": args.experiment},
+        )
+    run = run_supervised(tasks, jobs=jobs, policy=policy, journal=journal)
+    for blocks in run.results:
+        for block in blocks or []:
             print(block)
             print()
+    report = run.report()
+    if args.failure_report is not None:
+        atomic_write_text(
+            args.failure_report,
+            json.dumps(report, sort_keys=True, separators=(",", ":")) + "\n",
+        )
+        print(f"wrote {args.failure_report}", file=sys.stderr)
+    if report["failed"]:
+        print(
+            f"{report['failed']} experiment(s) quarantined"
+            f" ({report['completed']}/{report['tasks']} completed):",
+            file=sys.stderr,
+        )
+        for failure in report["failures"]:
+            print(
+                f"  {failure['task']} attempt={failure['attempt']}"
+                f" {failure['kind']}: {failure['detail']}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 

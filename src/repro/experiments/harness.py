@@ -152,6 +152,7 @@ def write_telemetry_artifacts(
     """
     import os
 
+    from ..ioutil import atomic_write_text
     from ..telemetry import write_metrics_json, write_trace_jsonl
 
     written: List[str] = []
@@ -171,8 +172,7 @@ def write_telemetry_artifacts(
         write_metrics_json(path, telemetry)
         written.append(f"wrote {path} (digest {telemetry.metrics_digest()[:12]})")
         path = os.path.join(metrics_dir, f"{name}.prom")
-        with open(path, "w", encoding="utf-8", newline="\n") as handle:
-            handle.write(telemetry.render_prometheus())
+        atomic_write_text(path, telemetry.render_prometheus())
         written.append(f"wrote {path}")
     return written
 

@@ -45,12 +45,19 @@ def replicate_seeds(base_seed: int, names: Sequence[str]) -> Dict[str, int]:
 
 @dataclass(frozen=True)
 class ExperimentTask:
-    """One unit of work: ``fn(*args, **kwargs)`` in a worker process."""
+    """One unit of work: ``fn(*args, **kwargs)`` in a worker process.
+
+    ``seed`` is metadata only — the callable must still receive its seed
+    through ``args``/``kwargs``.  It exists so the resilience layer
+    (:mod:`repro.resilience`) can key checkpoint-journal entries by
+    ``(name, seed, args digest)`` without parsing the argument tuple.
+    """
 
     name: str
     fn: Callable[..., Any]
     args: Tuple[Any, ...] = ()
     kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
 
 
 def _invoke(task: ExperimentTask) -> Any:
@@ -58,8 +65,17 @@ def _invoke(task: ExperimentTask) -> Any:
 
 
 def default_jobs() -> int:
-    """Worker count when the caller does not specify one."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count when the caller does not specify one.
+
+    Uses the CPU *affinity* mask where the platform exposes it, so a
+    containerized or ``taskset``-pinned run (CI, cgroup-limited boxes)
+    sizes its pool by the CPUs it may actually use, not by how many the
+    host machine has.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux platforms
+        return max(1, os.cpu_count() or 1)
 
 
 def run_tasks(
@@ -79,9 +95,18 @@ def run_tasks(
         return [_invoke(task) for task in tasks]
     workers = min(jobs, len(tasks))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        # Executor.map preserves submission order; chunksize 1 keeps the
-        # longest task from serializing a whole chunk behind it.
-        return list(pool.map(_invoke, tasks, chunksize=1))
+        # One future per task preserves submission order without chunking
+        # (a chunk would serialize every task behind its slowest member).
+        futures = [pool.submit(_invoke, task) for task in tasks]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            # First failure: drop every not-yet-started task instead of
+            # letting the rest of a doomed campaign run to completion
+            # behind the exception.  Already-running workers finish their
+            # current task during executor shutdown.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
 
 def run_named_tasks(

@@ -31,6 +31,7 @@ from .campaign import (
     metrics_digest,
     render_campaign,
     run_campaign,
+    run_resilient_campaign,
     run_scenario,
 )
 from .faults import (
@@ -86,5 +87,6 @@ __all__ = [
     "metrics_digest",
     "render_campaign",
     "run_campaign",
+    "run_resilient_campaign",
     "run_scenario",
 ]

@@ -33,6 +33,7 @@ import os
 from typing import Callable, Dict, Iterable, List, Optional
 
 from .. import metrics
+from ..ioutil import atomic_write_text
 from ..clocks.oscillator import ConstantSkew
 from ..dtp.network import DtpNetwork
 from ..dtp.port import DtpPortConfig
@@ -240,13 +241,10 @@ def run_scenario(
             write_metrics_json(
                 _artifact(metrics_dir, name, "metrics.json"), telemetry
             )
-            with open(
+            atomic_write_text(
                 _artifact(metrics_dir, name, "prom"),
-                "w",
-                encoding="utf-8",
-                newline="\n",
-            ) as handle:
-                handle.write(telemetry.render_prometheus())
+                telemetry.render_prometheus(),
+            )
 
     recovery = {
         reason: {
@@ -318,21 +316,13 @@ def _scenario_task(
     )
 
 
-def run_campaign(
+def _campaign_tasks(
     specs: Iterable[Dict[str, object]],
-    base_seed: int = 0,
-    jobs: Optional[int] = 1,
-    trace_dir: Optional[str] = None,
-    metrics_dir: Optional[str] = None,
-    flight_dir: Optional[str] = None,
-) -> Dict[str, Dict[str, object]]:
-    """Run many scenarios, each seeded from ``(base_seed, scenario name)``.
-
-    Returns an ordered ``{scenario name: metrics}`` dict.  ``jobs > 1``
-    fans out over worker processes via the parallel experiment runner;
-    results — and any telemetry artifacts written to the ``*_dir``
-    directories — are byte-identical to the serial path.
-    """
+    base_seed: int,
+    trace_dir: Optional[str],
+    metrics_dir: Optional[str],
+    flight_dir: Optional[str],
+) -> List[ExperimentTask]:
     tasks = []
     for spec in specs:
         if "name" not in spec:
@@ -348,9 +338,90 @@ def run_campaign(
                     "metrics_dir": metrics_dir,
                     "flight_dir": flight_dir,
                 },
+                seed=derive_seed(base_seed, name),
             )
         )
+    return tasks
+
+
+def run_campaign(
+    specs: Iterable[Dict[str, object]],
+    base_seed: int = 0,
+    jobs: Optional[int] = 1,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Run many scenarios, each seeded from ``(base_seed, scenario name)``.
+
+    Returns an ordered ``{scenario name: metrics}`` dict.  ``jobs > 1``
+    fans out over worker processes via the parallel experiment runner;
+    results — and any telemetry artifacts written to the ``*_dir``
+    directories — are byte-identical to the serial path.  For campaigns
+    that must survive worker crashes, hangs, or a SIGKILL of the whole
+    run, use :func:`run_resilient_campaign`.
+    """
+    tasks = _campaign_tasks(specs, base_seed, trace_dir, metrics_dir, flight_dir)
     return run_named_tasks(tasks, jobs=jobs)
+
+
+def run_resilient_campaign(
+    specs: Iterable[Dict[str, object]],
+    base_seed: int = 0,
+    jobs: Optional[int] = 1,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+    journal_path: Optional[str] = None,
+    policy=None,
+):
+    """Run a campaign under the :mod:`repro.resilience` supervisor.
+
+    Like :func:`run_campaign`, but each scenario runs in a supervised
+    worker with per-task timeouts, bounded retries, pool respawn on worker
+    death, and quarantine of poison scenarios.  With ``journal_path``,
+    completed scenarios are checkpointed as they finish and a re-invoked
+    campaign resumes by skipping them — results and artifacts are
+    byte-identical to an uninterrupted run.
+
+    Returns ``(results, report)``: the ordered ``{scenario: metrics}``
+    dict for every scenario that completed, and the machine-readable
+    failure report (:meth:`repro.resilience.SupervisedRun.report`).  When
+    ``flight_dir`` is set, every quarantined scenario additionally gets a
+    ``<scenario>.failure.flight.jsonl`` post-mortem artifact.
+    """
+    from ..resilience import CheckpointJournal, SupervisorPolicy, run_supervised
+
+    tasks = _campaign_tasks(specs, base_seed, trace_dir, metrics_dir, flight_dir)
+    if policy is None:
+        policy = SupervisorPolicy(base_seed=base_seed)
+    # The meta deliberately omits the scenario list: every journal entry
+    # is keyed by (name, seed, args digest), so resuming with a subset or
+    # superset of scenarios is safe and useful (finish the rest later).
+    journal = None
+    if journal_path is not None:
+        journal = CheckpointJournal(
+            journal_path,
+            meta={"campaign": "faultlab", "base_seed": base_seed},
+        )
+    run = run_supervised(tasks, jobs=jobs, policy=policy, journal=journal)
+    report = run.report()
+    if flight_dir is not None and run.quarantined:
+        failures = [failure.as_dict() for failure in run.failures]
+        for name in run.quarantined:
+            telemetry = Telemetry(trace=False)
+            dump_flight(
+                _artifact(flight_dir, name, "failure.flight.jsonl"),
+                telemetry,
+                name,
+                derive_seed(base_seed, name),
+                0,
+                context={
+                    "reason": "supervisor-quarantine",
+                    "failures": [f for f in failures if f["task"] == name],
+                },
+            )
+    return run.named_results(), report
 
 
 def render_campaign(results: Dict[str, Dict[str, object]]) -> List[str]:

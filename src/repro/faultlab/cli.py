@@ -11,6 +11,18 @@ Usage::
 The last line is the determinism contract: the same seed and scenario set
 always produce sha256-identical output (the human-readable report also
 ends with the campaign digest).
+
+Resilience (``docs/RESILIENCE.md``)::
+
+    repro faultlab --journal out/c.journal.jsonl   # kill it, rerun: resumes
+    repro faultlab --task-timeout 120 --retries 3  # supervised workers
+    repro faultlab --failure-report out/failures.json
+
+Any of these flags routes the campaign through the
+:mod:`repro.resilience` supervisor: scenarios that hang, crash their
+worker, or keep failing are quarantined and reported on stderr (exit
+status 1) while every other scenario's metrics still appear — on stdout,
+byte-identical to an unsupervised run of the surviving set.
 """
 
 from __future__ import annotations
@@ -20,7 +32,13 @@ import json
 import sys
 from typing import List, Optional
 
-from .campaign import CampaignError, render_campaign, run_campaign
+from ..ioutil import atomic_write_text
+from .campaign import (
+    CampaignError,
+    render_campaign,
+    run_campaign,
+    run_resilient_campaign,
+)
 from .scenarios import BUILTIN_SCENARIOS, builtin_specs
 
 
@@ -67,6 +85,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write a flight-recorder artifact <DIR>/<name>.flight.jsonl "
         "for every scenario that records or raises an invariant violation",
     )
+    parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="checkpoint completed scenarios to this JSONL journal; "
+        "re-running with the same journal resumes, skipping them "
+        "(implies supervised execution)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-scenario wall-clock watchdog; a hung scenario's worker "
+        "is killed and the scenario retried (implies supervised execution)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per scenario before quarantine (default 3; "
+        "implies supervised execution)",
+    )
+    parser.add_argument(
+        "--failure-report", metavar="PATH", default=None,
+        help="write the machine-readable failure report as JSON "
+        "(implies supervised execution)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -80,19 +119,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(str(exc))
 
     jobs = None if args.jobs == 0 else args.jobs
-    results = run_campaign(
-        specs,
-        base_seed=args.seed,
-        jobs=jobs,
-        trace_dir=args.trace,
-        metrics_dir=args.metrics_out,
-        flight_dir=args.dump_trace,
+    supervised = any(
+        value is not None
+        for value in (
+            args.journal, args.task_timeout, args.retries, args.failure_report
+        )
     )
+    report = None
+    if supervised:
+        from ..resilience import SupervisorPolicy
+
+        policy = SupervisorPolicy(
+            timeout_s=args.task_timeout,
+            max_attempts=args.retries if args.retries is not None else 3,
+            base_seed=args.seed,
+        )
+        results, report = run_resilient_campaign(
+            specs,
+            base_seed=args.seed,
+            jobs=jobs,
+            trace_dir=args.trace,
+            metrics_dir=args.metrics_out,
+            flight_dir=args.dump_trace,
+            journal_path=args.journal,
+            policy=policy,
+        )
+    else:
+        results = run_campaign(
+            specs,
+            base_seed=args.seed,
+            jobs=jobs,
+            trace_dir=args.trace,
+            metrics_dir=args.metrics_out,
+            flight_dir=args.dump_trace,
+        )
+    # stdout carries only the (digest-stable) campaign results; failure
+    # reporting goes to stderr so supervised and plain runs of the same
+    # surviving scenario set stay byte-identical on stdout.
     if args.json:
         print(json.dumps(results, sort_keys=True, separators=(",", ":")))
     else:
         for line in render_campaign(results):
             print(line)
+    if report is not None:
+        if args.failure_report is not None:
+            atomic_write_text(
+                args.failure_report,
+                json.dumps(report, sort_keys=True, separators=(",", ":")) + "\n",
+            )
+            print(f"wrote {args.failure_report}", file=sys.stderr)
+        if report["failed"]:
+            print(
+                f"{report['failed']} scenario(s) quarantined"
+                f" ({report['completed']}/{report['tasks']} completed,"
+                f" {report['respawns']} pool respawns):",
+                file=sys.stderr,
+            )
+            for failure in report["failures"]:
+                print(
+                    f"  {failure['task']} attempt={failure['attempt']}"
+                    f" {failure['kind']}: {failure['detail']}",
+                    file=sys.stderr,
+                )
+            return 1
     return 0
 
 

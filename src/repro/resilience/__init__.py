@@ -1,0 +1,53 @@
+"""repro.resilience: crash-safe, resumable experiment execution.
+
+The layer every long campaign runs on: a task **supervisor**
+(:mod:`~repro.resilience.supervisor`) that survives worker hangs, crashes,
+and poison tasks with a structured failure taxonomy, plus a **checkpoint
+journal** (:mod:`~repro.resilience.journal`) that persists completed
+results so a killed campaign resumes where it stopped and still produces
+byte-identical artifacts.
+
+See ``docs/RESILIENCE.md`` for the semantics and the on-disk formats.
+"""
+
+from __future__ import annotations
+
+from .journal import (  # noqa: F401
+    CheckpointJournal,
+    JournalError,
+    args_digest,
+    task_key,
+)
+from .supervisor import (  # noqa: F401
+    FAILURE_CRASH,
+    FAILURE_EXCEPTION,
+    FAILURE_KINDS,
+    FAILURE_QUARANTINED,
+    FAILURE_TIMEOUT,
+    REPORT_VERSION,
+    SupervisedRun,
+    SupervisorError,
+    SupervisorPolicy,
+    TaskFailure,
+    backoff_slots,
+    run_supervised,
+)
+
+__all__ = [
+    "CheckpointJournal",
+    "JournalError",
+    "args_digest",
+    "task_key",
+    "FAILURE_TIMEOUT",
+    "FAILURE_CRASH",
+    "FAILURE_EXCEPTION",
+    "FAILURE_QUARANTINED",
+    "FAILURE_KINDS",
+    "REPORT_VERSION",
+    "SupervisedRun",
+    "SupervisorError",
+    "SupervisorPolicy",
+    "TaskFailure",
+    "backoff_slots",
+    "run_supervised",
+]

@@ -1,0 +1,96 @@
+"""``repro resilience`` — inspect checkpoint journals and failure reports.
+
+Usage::
+
+    repro resilience journal out/campaign.journal.jsonl
+    repro resilience journal out/campaign.journal.jsonl --json
+    repro resilience report out/failures.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .journal import CheckpointJournal, JournalError
+
+
+def _canonical(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _show_journal(path: str, as_json: bool) -> int:
+    try:
+        journal = CheckpointJournal(path)
+    except (JournalError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if as_json:
+        print(_canonical({"meta": journal.meta, "entries": journal.entries}))
+        return 0
+    print(f"journal: {path}")
+    print(f"meta:    {_canonical(journal.meta)}")
+    print(f"entries: {len(journal)}")
+    for entry in journal.entries:
+        print(
+            f"  {entry['name']:24s} seed={entry['seed']:<20d}"
+            f" args={entry['args_sha256'][:12]}"
+        )
+    return 0
+
+
+def _show_report(path: str) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return 1
+    if report.get("record") != "failure-report":
+        print(f"error: {path}: not a failure report", file=sys.stderr)
+        return 1
+    print(
+        f"tasks={report['tasks']} completed={report['completed']}"
+        f" failed={report['failed']} from_journal={report['from_journal']}"
+        f" respawns={report['respawns']}"
+    )
+    for kind, count in sorted(report.get("failures_by_kind", {}).items()):
+        print(f"  {kind:12s} {count}")
+    for failure in report.get("failures", []):
+        print(
+            f"  {failure['task']:24s} attempt={failure['attempt']}"
+            f" {failure['kind']:12s} {failure['detail']}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro resilience",
+        description="Inspect resilience journals and failure reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    journal_parser = sub.add_parser(
+        "journal", help="show a checkpoint journal's entries"
+    )
+    journal_parser.add_argument("path")
+    journal_parser.add_argument(
+        "--json", action="store_true", help="print meta + entries as JSON"
+    )
+    report_parser = sub.add_parser(
+        "report", help="summarize a failure-report JSON file"
+    )
+    report_parser.add_argument("path")
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "journal":
+            return _show_journal(args.path, args.json)
+        return _show_report(args.path)
+    except BrokenPipeError:  # e.g. `repro resilience journal ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -20,6 +20,7 @@ import hashlib
 import json
 from typing import Dict, Iterable, Iterator, List, Tuple
 
+from ..ioutil import atomic_open, atomic_write_text
 from .events import KIND_NAMES, kind_name
 from .trace import TraceRecord, TraceRecorder
 
@@ -54,8 +55,8 @@ def trace_lines(tracer: TraceRecorder) -> Iterator[str]:
 
 
 def write_trace_jsonl(path: str, tracer: TraceRecorder) -> None:
-    """Write the recorder to ``path`` as canonical JSONL."""
-    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+    """Write the recorder to ``path`` as canonical JSONL (atomically)."""
+    with atomic_open(path) as handle:
         for line in trace_lines(tracer):
             handle.write(line + "\n")
 
@@ -148,7 +149,7 @@ def write_chrome_trace(
         "displayTimeUnit": "ns",
         "traceEvents": chrome_trace_events(records, subjects),
     }
-    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+    with atomic_open(path) as handle:
         json.dump(document, handle, sort_keys=True, separators=(",", ":"))
         handle.write("\n")
 
@@ -165,8 +166,7 @@ def write_metrics_json(path: str, telemetry) -> None:
     """
     snapshot = telemetry.metrics_snapshot()
     document = {"digest": telemetry.metrics_digest(), "metrics": snapshot["metrics"]}
-    with open(path, "w", encoding="utf-8", newline="\n") as handle:
-        handle.write(_canonical(document) + "\n")
+    atomic_write_text(path, _canonical(document) + "\n")
 
 
 # ----------------------------------------------------------------------

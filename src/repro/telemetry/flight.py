@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
+from ..ioutil import atomic_write_bytes
 from .trace import TraceRecord
 
 FLIGHT_HEADER = "flight-header"
@@ -121,12 +122,15 @@ def dump_flight(
     context: Optional[Dict[str, object]] = None,
     last_n: int = DEFAULT_FLIGHT_TAIL,
 ) -> FlightDump:
-    """Write a flight-recorder artifact to ``path`` and return the dump."""
+    """Write a flight-recorder artifact to ``path`` and return the dump.
+
+    The write is atomic (temp file + ``os.replace``): a crash while
+    dumping never leaves a torn artifact behind.
+    """
     dump = build_flight(
         telemetry, scenario, seed, time_fs, context=context, last_n=last_n
     )
-    with open(path, "wb") as handle:
-        handle.write(dump.dump_bytes())
+    atomic_write_bytes(path, dump.dump_bytes())
     return dump
 
 
