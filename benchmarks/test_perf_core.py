@@ -12,7 +12,10 @@ Measures, on this machine, in this process:
   micro-bench must stay within 3% of the previously recorded
   ``BENCH_core.json`` events/sec (the hooks are ``None`` checks and must
   cost nothing), and the traced-over-untraced Fig. 6a wall-time ratio is
-  recorded under the ``"telemetry"`` key.
+  recorded under the ``"telemetry"`` key;
+* the insight analysis guard: indexing + timeline reconstruction +
+  per-link bound decomposition of the traced Fig. 6a run must cost under
+  20% of that run's own wall time, recorded under the ``"insight"`` key.
 
 The resulting ``BENCH_core.json`` (repo root) records the numbers so the
 perf trajectory is tracked across PRs::
@@ -164,6 +167,28 @@ def test_perf_core_speedup_and_bench_json():
     assert digest_traced == digest_new, "tracing changed experiment output"
     traced_ratio = fig6a_traced_wall / fig6a_new_wall
 
+    # --- insight analysis overhead ---------------------------------------
+    # Offline trace analytics must stay cheap relative to producing the
+    # trace: full index + timeline reconstruction + per-link bound
+    # decomposition of the traced Fig. 6a run under 20% of its wall time.
+    from repro.insight import decompose_links, reconstruct_timeline
+    from repro.telemetry import TraceIndex
+
+    insight_wall = float("inf")
+    links_decomposed = 0
+    anchors_total = 0
+    for _ in range(TIMING_REPEATS):
+        gc.collect()
+        start = time.perf_counter()
+        index = TraceIndex.from_recorder(telemetry.tracer)
+        timeline = reconstruct_timeline(index)
+        scorecards = decompose_links(index, timeline=timeline)
+        wall = time.perf_counter() - start
+        insight_wall = min(insight_wall, wall)
+        links_decomposed = len(scorecards)
+        anchors_total = sum(len(n.anchors) for n in timeline.nodes.values())
+    insight_ratio = insight_wall / fig6a_traced_wall
+
     bench = {
         "engine": {
             "workload_events": events_new,
@@ -185,6 +210,12 @@ def test_perf_core_speedup_and_bench_json():
             "trace_recorded": telemetry.tracer.recorded,
             "bit_identical_to_untraced": digest_traced == digest_new,
         },
+        "insight": {
+            "analysis_wall_s": round(insight_wall, 3),
+            "analysis_over_traced_run": round(insight_ratio, 3),
+            "links_decomposed": links_decomposed,
+            "anchors_reconstructed": anchors_total,
+        },
     }
     BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
     print()
@@ -202,3 +233,7 @@ def test_perf_core_speedup_and_bench_json():
             f"telemetry-disabled engine bench regressed: "
             f"{engine_eps_new:.0f} < 0.97 * {previous_eps} events/s"
         )
+    # Analysis must stay cheap relative to the run that produced the trace.
+    assert insight_ratio < 0.20, (
+        f"insight analysis cost {insight_ratio:.1%} of the traced run"
+    )

@@ -4,7 +4,8 @@
 (:mod:`repro.faultlab.cli`), ``repro trace ...`` to the telemetry CLI
 (:mod:`repro.telemetry.cli`), ``repro resilience ...`` to the
 checkpoint-journal / failure-report inspector
-(:mod:`repro.resilience.cli`); anything else goes to the experiment
+(:mod:`repro.resilience.cli`), ``repro insight ...`` to the trace
+analytics CLI (:mod:`repro.insight.cli`); anything else goes to the experiment
 driver (:mod:`repro.experiments.cli`), so ``repro fig6a --quick`` keeps
 working exactly like ``dtp-repro fig6a --quick``.
 """
@@ -31,6 +32,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .resilience.cli import main as resilience_main
 
         return resilience_main(argv[1:])
+    if argv and argv[0] == "insight":
+        from .insight.cli import main as insight_main
+
+        return insight_main(argv[1:])
     from .experiments.cli import main as experiments_main
 
     return experiments_main(argv)

@@ -297,6 +297,14 @@ def _run_command_worker(
 
 
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "insight":
+        # `dtp-repro insight ...` delegates to the trace-analytics CLI
+        # (its own subcommands don't fit the experiment chooser below).
+        from ..insight.cli import main as insight_main
+
+        return insight_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="dtp-repro",
         description="Regenerate the tables and figures of the DTP paper.",

@@ -144,6 +144,30 @@ def generate_report(quick: bool = True) -> str:
     )
 
     lines.append("")
+    lines.append("## Metrics-registry summary")
+    lines.append("")
+    lines.append(
+        "Message accounting read back from the telemetry metrics registry "
+        "(`dtp_messages_sent_total`), per Table 2 speed: one beacon per "
+        "200 ticks per direction is the paper's cadence."
+    )
+    lines.append("")
+    lines.append(
+        "| speed | messages sent | beacons sent | beacons/s/dir | "
+        "expected/s | verdict |"
+    )
+    lines.append("|---|---|---|---|---|---|")
+    for speed, counters in t2.summary["message_counters"].items():
+        verdict = "plausible" if counters["plausible"] else "OFF-CADENCE"
+        lines.append(
+            f"| {speed} | {counters['messages_sent']} "
+            f"| {counters['beacons_sent']} "
+            f"| {counters['beacon_rate_per_dir_per_s']} "
+            f"| {counters['expected_beacon_rate_per_s']} "
+            f"| {verdict} |"
+        )
+
+    lines.append("")
     lines.append(
         "All runs deterministic; see EXPERIMENTS.md for methodology and "
         "DESIGN.md for the substitution inventory."

@@ -120,4 +120,19 @@ def run_table2(duration_fs: int = 2 * units.MS, seed: int = 9) -> ExperimentResu
     result.summary["all_message_rates_plausible"] = all(
         verdict["beacon_rate_plausible"] for verdict in verdicts
     )
+    # Raw registry counters per speed, for the report's metrics section.
+    result.summary["message_counters"] = {
+        verdict["speed"]: {
+            "messages_sent": verdict["messages_sent"],
+            "beacons_sent": verdict["beacons_sent"],
+            "beacon_rate_per_dir_per_s": round(
+                verdict["beacon_rate_per_dir_per_s"]
+            ),
+            "expected_beacon_rate_per_s": round(
+                verdict["expected_beacon_rate_per_s"]
+            ),
+            "plausible": verdict["beacon_rate_plausible"],
+        }
+        for verdict in verdicts
+    }
     return result

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from typing import Callable, Dict, Iterable, List, Optional
 
 from .. import metrics
@@ -124,6 +125,20 @@ def _artifact(directory: str, scenario: str, suffix: str) -> str:
     return os.path.join(directory, f"{scenario}.{suffix}")
 
 
+def _attach_insight(flight_dir: str, name: str, suffix: str, dump) -> None:
+    """Write the insight post-mortem summary next to a flight artifact.
+
+    Imported lazily (insight pulls in the experiment harness) and derived
+    only from the dump itself, so the summary is as deterministic as the
+    flight artifact.
+    """
+    from ..insight import flight_summary_markdown
+
+    atomic_write_text(
+        _artifact(flight_dir, name, suffix), flight_summary_markdown(dump)
+    )
+
+
 def run_scenario(
     spec: Dict[str, object],
     seed: int = 0,
@@ -132,6 +147,7 @@ def run_scenario(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     flight_dir: Optional[str] = None,
+    profile_dispatch: bool = False,
 ) -> Dict[str, object]:
     """Run one scenario and return its (canonically JSON-able) metrics.
 
@@ -156,10 +172,12 @@ def run_scenario(
     if duration_fs <= 0:
         raise CampaignError("duration_fs must be positive")
 
-    if telemetry is None and (trace_dir or metrics_dir or flight_dir):
-        telemetry = Telemetry()
+    if telemetry is None and (trace_dir or metrics_dir or flight_dir or profile_dispatch):
+        telemetry = Telemetry(profile_dispatch=profile_dispatch)
 
     sim = sim_factory()
+    if telemetry is not None:
+        telemetry.attach_sim(sim)
     streams = RandomStreams(root_seed=seed)
     topology = build_topology(spec["topology"])
     config = DtpPortConfig(**spec.get("config", {}))
@@ -201,13 +219,14 @@ def run_scenario(
         sim.schedule(sample_interval_fs, _sample)
 
     sim.schedule_at(sim.now, _sample)
+    profiling = telemetry is not None and telemetry.profile is not None
+    wall_start = time.perf_counter_ns() if profiling else None
     try:
         sim.run_until(duration_fs)
     except InvariantViolation as exc:
         if telemetry is not None and flight_dir is not None:
-            _flight_path = _artifact(flight_dir, name, "flight.jsonl")
-            dump_flight(
-                _flight_path,
+            dump = dump_flight(
+                _artifact(flight_dir, name, "flight.jsonl"),
                 telemetry,
                 name,
                 seed,
@@ -216,11 +235,16 @@ def run_scenario(
                     exc.context, violation=exc.violation.as_dict()
                 ),
             )
+            _attach_insight(flight_dir, name, "insight.md", dump)
         raise
+    if wall_start is not None:
+        telemetry.record_wallclock(
+            f"scenario:{name}", time.perf_counter_ns() - wall_start
+        )
 
     if telemetry is not None:
         if flight_dir is not None and checker.total_violations:
-            dump_flight(
+            dump = dump_flight(
                 _artifact(flight_dir, name, "flight.jsonl"),
                 telemetry,
                 name,
@@ -233,6 +257,7 @@ def run_scenario(
                     else {},
                 ),
             )
+            _attach_insight(flight_dir, name, "insight.md", dump)
         if trace_dir is not None and telemetry.tracer is not None:
             write_trace_jsonl(
                 _artifact(trace_dir, name, "trace.jsonl"), telemetry.tracer
@@ -305,6 +330,7 @@ def _scenario_task(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     flight_dir: Optional[str] = None,
+    profile_dispatch: bool = False,
 ) -> Dict[str, object]:
     """Module-level (hence picklable) worker for the parallel runner."""
     return run_scenario(
@@ -313,6 +339,7 @@ def _scenario_task(
         trace_dir=trace_dir,
         metrics_dir=metrics_dir,
         flight_dir=flight_dir,
+        profile_dispatch=profile_dispatch,
     )
 
 
@@ -322,6 +349,7 @@ def _campaign_tasks(
     trace_dir: Optional[str],
     metrics_dir: Optional[str],
     flight_dir: Optional[str],
+    profile_dispatch: bool = False,
 ) -> List[ExperimentTask]:
     tasks = []
     for spec in specs:
@@ -337,6 +365,7 @@ def _campaign_tasks(
                     "trace_dir": trace_dir,
                     "metrics_dir": metrics_dir,
                     "flight_dir": flight_dir,
+                    "profile_dispatch": profile_dispatch,
                 },
                 seed=derive_seed(base_seed, name),
             )
@@ -351,6 +380,7 @@ def run_campaign(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     flight_dir: Optional[str] = None,
+    profile_dispatch: bool = False,
 ) -> Dict[str, Dict[str, object]]:
     """Run many scenarios, each seeded from ``(base_seed, scenario name)``.
 
@@ -361,7 +391,9 @@ def run_campaign(
     that must survive worker crashes, hangs, or a SIGKILL of the whole
     run, use :func:`run_resilient_campaign`.
     """
-    tasks = _campaign_tasks(specs, base_seed, trace_dir, metrics_dir, flight_dir)
+    tasks = _campaign_tasks(
+        specs, base_seed, trace_dir, metrics_dir, flight_dir, profile_dispatch
+    )
     return run_named_tasks(tasks, jobs=jobs)
 
 
@@ -374,6 +406,7 @@ def run_resilient_campaign(
     flight_dir: Optional[str] = None,
     journal_path: Optional[str] = None,
     policy=None,
+    profile_dispatch: bool = False,
 ):
     """Run a campaign under the :mod:`repro.resilience` supervisor.
 
@@ -392,7 +425,9 @@ def run_resilient_campaign(
     """
     from ..resilience import CheckpointJournal, SupervisorPolicy, run_supervised
 
-    tasks = _campaign_tasks(specs, base_seed, trace_dir, metrics_dir, flight_dir)
+    tasks = _campaign_tasks(
+        specs, base_seed, trace_dir, metrics_dir, flight_dir, profile_dispatch
+    )
     if policy is None:
         policy = SupervisorPolicy(base_seed=base_seed)
     # The meta deliberately omits the scenario list: every journal entry
@@ -410,7 +445,7 @@ def run_resilient_campaign(
         failures = [failure.as_dict() for failure in run.failures]
         for name in run.quarantined:
             telemetry = Telemetry(trace=False)
-            dump_flight(
+            dump = dump_flight(
                 _artifact(flight_dir, name, "failure.flight.jsonl"),
                 telemetry,
                 name,
@@ -421,6 +456,7 @@ def run_resilient_campaign(
                     "failures": [f for f in failures if f["task"] == name],
                 },
             )
+            _attach_insight(flight_dir, name, "failure.insight.md", dump)
     return run.named_results(), report
 
 

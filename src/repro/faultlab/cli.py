@@ -86,6 +86,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "for every scenario that records or raises an invariant violation",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="profile engine dispatch per scenario; counts land in the "
+        "metrics snapshot (sim_dispatch_total) and wall-clock durations "
+        "in the digest-excluded registry section",
+    )
+    parser.add_argument(
         "--journal", metavar="PATH", default=None,
         help="checkpoint completed scenarios to this JSONL journal; "
         "re-running with the same journal resumes, skipping them "
@@ -143,6 +149,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             flight_dir=args.dump_trace,
             journal_path=args.journal,
             policy=policy,
+            profile_dispatch=args.profile,
         )
     else:
         results = run_campaign(
@@ -152,6 +159,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_dir=args.trace,
             metrics_dir=args.metrics_out,
             flight_dir=args.dump_trace,
+            profile_dispatch=args.profile,
         )
     # stdout carries only the (digest-stable) campaign results; failure
     # reporting goes to stderr so supervised and plain runs of the same

@@ -1,0 +1,79 @@
+"""repro.insight — offline trace analytics for DTP runs.
+
+Consumes the PR-3 telemetry artifacts (canonical trace JSONL, metrics
+snapshots, flight recordings) or a live :class:`~repro.telemetry.trace.TraceRecorder`
+and answers three questions the raw streams cannot:
+
+* *what happened* — :mod:`.timeline` rebuilds per-node counter series and
+  per-port OWD/beacon/jump series purely from EV_* records;
+* *why did it happen* — :mod:`.causal` walks the beacon-reception chain
+  backwards from any jump or invariant violation, hop by hop;
+* *was it within bounds* — :mod:`.decompose` splits each link's observed
+  offset into its OWD-error and drift components and checks both against
+  the paper's 2-tick budgets (``dtp.analysis`` closed forms).
+
+:mod:`.report` aggregates all three over a campaign directory into a
+deterministic markdown run report; :mod:`.cli` is ``repro insight``.
+"""
+
+from .causal import (
+    JumpHop,
+    ViolationExplanation,
+    explain_flight,
+    explain_jump,
+    explain_violation,
+    render_explanation,
+)
+from .decompose import (
+    DRIFT_BUDGET_TICKS,
+    OWD_ERROR_BUDGET_TICKS,
+    DirectionStats,
+    LinkScorecard,
+    decompose_links,
+    fault_free_end_fs,
+    scorecard_rows,
+)
+from .report import (
+    flight_summary_markdown,
+    generate_insight_report,
+    scan_campaign_dir,
+    write_insight_report,
+)
+from .timeline import (
+    CAUSE_BEACON,
+    CAUSE_JOIN,
+    CAUSE_UNKNOWN,
+    NodeTimeline,
+    PortTimeline,
+    Timeline,
+    classify_jump,
+    reconstruct_timeline,
+)
+
+__all__ = [
+    "CAUSE_BEACON",
+    "CAUSE_JOIN",
+    "CAUSE_UNKNOWN",
+    "DRIFT_BUDGET_TICKS",
+    "DirectionStats",
+    "JumpHop",
+    "LinkScorecard",
+    "NodeTimeline",
+    "OWD_ERROR_BUDGET_TICKS",
+    "PortTimeline",
+    "Timeline",
+    "ViolationExplanation",
+    "classify_jump",
+    "decompose_links",
+    "explain_flight",
+    "explain_jump",
+    "explain_violation",
+    "fault_free_end_fs",
+    "flight_summary_markdown",
+    "generate_insight_report",
+    "reconstruct_timeline",
+    "render_explanation",
+    "scan_campaign_dir",
+    "scorecard_rows",
+    "write_insight_report",
+]

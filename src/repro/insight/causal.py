@@ -1,0 +1,395 @@
+"""Causal jump explanation: walk the beacon chain backwards through a trace.
+
+A counter jump (EV_JUMP) on port ``a->b`` is the *effect* of a beacon that
+node ``b`` transmitted earlier; that beacon's counter value in turn
+reflects the last jump ``b`` itself took, and so on up the chain.  Given
+any EV_JUMP (or an invariant violation), :func:`explain_jump` reconstructs
+that chain hop by hop, purely from the trace:
+
+1. the co-timed EV_RX on the jumping port names the message type and
+   payload that triggered transition T4 (or a JOIN);
+2. the matching EV_TX on the reverse port (same type, same payload, latest
+   earlier time) names the instant and node the beacon left;
+3. the latest EV_JUMP on any of the sender's ports at or before that TX is
+   the previous cause, and the walk recurses.
+
+Each hop is annotated with the Section 3.3 decomposition: the measured OWD
+``d`` (from EV_OWD) against the observed flight time gives the OWD
+measurement error the hop contributed, and the rest of the applied jump is
+clock drift accumulated since the previous correction — the two components
+``dtp/analysis.py`` bounds at 2 ticks each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dtp import messages as dtpmsg
+from ..phy.specs import PHY_10G
+from ..telemetry.events import (
+    EV_JUMP,
+    EV_OWD,
+    EV_PEER_FAULT,
+    EV_QUARANTINE,
+    EV_REJECT,
+    EV_RX,
+    EV_TX,
+)
+from ..telemetry.index import TraceIndex
+from .timeline import CAUSE_BEACON, CAUSE_JOIN, CAUSE_UNKNOWN
+
+#: Safety bound on the causal walk (a chain longer than the network
+#: diameter means the loop is just following steady-state beacons).
+DEFAULT_MAX_HOPS = 8
+
+
+@dataclass
+class JumpHop:
+    """One hop of a causal chain: a jump and the beacon that caused it."""
+
+    time_fs: int
+    port: str
+    node: str
+    peer: str
+    cause: str
+    #: EV_JUMP arguments, in counter units.
+    delta: int
+    applied: int
+    #: The triggering message (None when the co-timed EV_RX fell off the ring).
+    rx_type: Optional[int] = None
+    rx_payload: Optional[int] = None
+    #: The matching transmission on the peer (None when unmatched).
+    tx_time_fs: Optional[int] = None
+    #: Observed wire+pipeline flight, in ticks.
+    flight_ticks: Optional[int] = None
+    #: The hop's OWD measurement, in counter units (EV_OWD).
+    d_measured: Optional[int] = None
+    #: True when ``d_measured`` is a min-flight estimate (the EV_OWD record
+    #: fell off the ring) rather than the measured value.
+    d_estimated: bool = False
+    alpha: Optional[int] = None
+    #: Section 3.3 decomposition, in ticks.
+    owd_error_ticks: Optional[int] = None
+    drift_ticks: Optional[int] = None
+
+    def describe(self, increment: int = 1) -> str:
+        """One text line: who jumped, why, and the tick attribution."""
+        applied_ticks = self.applied // increment
+        parts = [
+            f"t={self.time_fs} {self.node} jumped {applied_ticks:+d} ticks"
+            f" on {self.port} ({self.cause})"
+        ]
+        if self.tx_time_fs is not None:
+            if self.d_measured is None:
+                credited = "?"
+            else:
+                credited = str(self.d_measured // increment)
+                if self.d_estimated:
+                    credited += "~"
+            parts.append(
+                f"from a beacon {self.peer} sent at t={self.tx_time_fs}"
+                f" (flight {self.flight_ticks} ticks,"
+                f" credited d={credited} ticks)"
+            )
+        if self.owd_error_ticks is not None and self.drift_ticks is not None:
+            parts.append(
+                f"[owd-error {self.owd_error_ticks} + drift {self.drift_ticks} ticks]"
+            )
+        return " ".join(parts)
+
+
+@dataclass
+class ViolationExplanation:
+    """A violation, its involved nodes, and the causal chain behind it."""
+
+    violation: Dict[str, object]
+    nodes: List[str]
+    chain: List[JumpHop] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+
+def _round_ticks(dt_fs: int, period_fs: int) -> int:
+    return (dt_fs + period_fs // 2) // period_fs
+
+
+def _co_timed_rx(index: TraceIndex, port: str, time_fs: int):
+    """The EV_RX that triggered a jump at (time_fs, port), if buffered."""
+    candidates = index.at(EV_RX, port, time_fs)
+    for rx in reversed(candidates):
+        if rx[3] in (
+            int(dtpmsg.MessageType.BEACON),
+            int(dtpmsg.MessageType.BEACON_JOIN),
+        ):
+            return rx
+    return candidates[-1] if candidates else None
+
+
+def _cause_of(rx_type: Optional[int]) -> str:
+    if rx_type == int(dtpmsg.MessageType.BEACON_JOIN):
+        return CAUSE_JOIN
+    if rx_type == int(dtpmsg.MessageType.BEACON):
+        return CAUSE_BEACON
+    return CAUSE_UNKNOWN
+
+
+def _latest_jump_on_node(
+    index: TraceIndex, node: str, time_fs: int, inclusive: bool = True
+):
+    """The newest EV_JUMP on any of the node's ports at/before ``time_fs``."""
+    best = None
+    for port in index.ports_of(node):
+        record = index.last_before(EV_JUMP, port, time_fs, inclusive=inclusive)
+        if record is not None and (best is None or record[0] > best[0]):
+            best = record
+    return best
+
+
+def _min_flight_fs(index: TraceIndex, rx_port: str) -> Optional[int]:
+    """Smallest matched beacon flight time on ``rx_port``, in femtoseconds.
+
+    The fallback ``d`` estimate when the EV_OWD record fell off the ring:
+    the measured OWD never exceeds the true delay (Section 3.3), and the
+    minimum observed flight is the closest trace-visible proxy for it.
+    """
+    beacon = int(dtpmsg.MessageType.BEACON)
+    tx_port = TraceIndex.reverse_port(rx_port)
+    txs = {r[4]: r[0] for r in index.stream(EV_TX, tx_port) if r[3] == beacon}
+    best = None
+    for rx in index.stream(EV_RX, rx_port):
+        if rx[3] != beacon:
+            continue
+        tx_time = txs.get(rx[4])
+        if tx_time is None or tx_time >= rx[0]:
+            continue
+        flight = rx[0] - tx_time
+        if best is None or flight < best:
+            best = flight
+    return best
+
+
+def explain_jump(
+    index: TraceIndex,
+    record,
+    increment: int = 1,
+    period_fs: int = PHY_10G.period_fs,
+    max_hops: int = DEFAULT_MAX_HOPS,
+) -> List[JumpHop]:
+    """The causal chain ending at ``record`` (an EV_JUMP), newest first."""
+    hops: List[JumpHop] = []
+    visited = set()
+    min_flight_cache: Dict[str, Optional[int]] = {}
+    while record is not None and len(hops) < max_hops:
+        time_fs, kind, sid, delta, applied = record
+        if kind != EV_JUMP:
+            break
+        key = (time_fs, sid, delta, applied)
+        if key in visited:
+            break
+        visited.add(key)
+        port = index.subject_name(sid)
+        node = TraceIndex.port_node(port)
+        peer = TraceIndex.port_peer(port)
+        rx = _co_timed_rx(index, port, time_fs)
+        hop = JumpHop(
+            time_fs=time_fs,
+            port=port,
+            node=node,
+            peer=peer,
+            cause=_cause_of(rx[3] if rx is not None else None),
+            delta=delta,
+            applied=applied,
+            rx_type=rx[3] if rx is not None else None,
+            rx_payload=rx[4] if rx is not None else None,
+        )
+        owd = index.last_before(EV_OWD, port, time_fs, inclusive=True)
+        if owd is not None:
+            hop.d_measured = owd[3]
+            hop.alpha = owd[4]
+        else:
+            if port not in min_flight_cache:
+                min_flight_cache[port] = _min_flight_fs(index, port)
+            flight_fs = min_flight_cache[port]
+            if flight_fs is not None:
+                hop.d_measured = _round_ticks(flight_fs, period_fs) * increment
+                hop.d_estimated = True
+        tx = None
+        if rx is not None:
+            tx = index.last_match_before(
+                EV_TX,
+                TraceIndex.reverse_port(port),
+                time_fs,
+                a=rx[3],
+                b=rx[4],
+            )
+        if tx is not None:
+            hop.tx_time_fs = tx[0]
+            hop.flight_ticks = _round_ticks(time_fs - tx[0], period_fs)
+            if hop.d_measured is not None:
+                d_ticks = hop.d_measured // increment
+                applied_ticks = applied // increment
+                hop.owd_error_ticks = max(0, hop.flight_ticks - d_ticks)
+                if hop.cause == CAUSE_BEACON:
+                    hop.drift_ticks = max(0, applied_ticks - hop.owd_error_ticks)
+        hops.append(hop)
+        if tx is None:
+            break
+        record = _latest_jump_on_node(index, peer, tx[0], inclusive=True)
+    return hops
+
+
+def _pair_nodes(index: TraceIndex, subject: str) -> List[str]:
+    """Split an invariant pair subject (``a-b``) into node names.
+
+    Node names may themselves contain dashes, so every split point is
+    tried and the one where both halves own ports in the trace wins.
+    """
+    if "->" in subject:
+        return [TraceIndex.port_node(subject)]
+    parts = subject.split("-")
+    for cut in range(1, len(parts)):
+        a = "-".join(parts[:cut])
+        b = "-".join(parts[cut:])
+        if index.ports_of(a) and index.ports_of(b):
+            return [a, b]
+    return [subject]
+
+
+def explain_violation(
+    index: TraceIndex,
+    violation: Dict[str, object],
+    increment: int = 1,
+    period_fs: int = PHY_10G.period_fs,
+    max_hops: int = DEFAULT_MAX_HOPS,
+) -> ViolationExplanation:
+    """Explain one invariant violation dict (``Violation.as_dict()``)."""
+    time_fs = int(violation.get("time_fs", 0))
+    subject = str(violation.get("subject", ""))
+    nodes = _pair_nodes(index, subject)
+    explanation = ViolationExplanation(violation=dict(violation), nodes=nodes)
+
+    newest = None
+    for node in nodes:
+        record = _latest_jump_on_node(index, node, time_fs, inclusive=True)
+        if record is not None and (newest is None or record[0] > newest[0]):
+            newest = record
+    if newest is None:
+        # The violation instant predates the buffered window (flight dumps
+        # carry only the trace tail).  A persistent violation keeps the
+        # same causal structure, so explain the newest surviving jump.
+        _first, last = index.span_fs
+        for node in nodes:
+            record = _latest_jump_on_node(index, node, last, inclusive=True)
+            if record is not None and (newest is None or record[0] > newest[0]):
+                newest = record
+        if newest is not None:
+            explanation.notes.append(
+                "violation time precedes the buffered trace window;"
+                " explaining the most recent surviving jump instead"
+            )
+    if newest is not None:
+        explanation.chain = explain_jump(
+            index, newest, increment=increment, period_fs=period_fs, max_hops=max_hops
+        )
+    else:
+        explanation.notes.append(
+            "no EV_JUMP records survive in the trace window for the involved nodes"
+        )
+
+    # Context: filter/fault activity on the involved nodes' ports.
+    for node in nodes:
+        for port in index.ports_of(node):
+            rejects = len(index.stream(EV_REJECT, port))
+            faults = len(index.stream(EV_PEER_FAULT, port))
+            if rejects or faults:
+                explanation.notes.append(
+                    f"{port}: {rejects} rejects, {faults} peer-fault declarations"
+                    " in the trace window"
+                )
+        for record in index.stream(EV_QUARANTINE, node):
+            explanation.notes.append(
+                f"{node} quarantined at t={record[0]}"
+                f" (reason: {index.subject_name(record[3])})"
+            )
+    return explanation
+
+
+def render_explanation(
+    explanation: ViolationExplanation, increment: int = 1
+) -> List[str]:
+    """Text lines for a violation explanation (deterministic)."""
+    violation = explanation.violation
+    lines = []
+    if violation:
+        lines.append(
+            f"violation: {violation.get('invariant', '?')}"
+            f" on {violation.get('subject', '?')}"
+            f" at t={violation.get('time_fs', '?')}"
+        )
+        detail = violation.get("detail")
+        if detail:
+            lines.append(f"detail: {detail}")
+    if explanation.chain:
+        lines.append("causal beacon chain (newest first):")
+        for depth, hop in enumerate(explanation.chain):
+            lines.append(f"  [{depth}] {hop.describe(increment=increment)}")
+    for note in explanation.notes:
+        lines.append(f"note: {note}")
+    return lines
+
+
+def explain_flight(
+    dump,
+    increment: int = 1,
+    period_fs: int = PHY_10G.period_fs,
+    max_hops: int = DEFAULT_MAX_HOPS,
+) -> List[str]:
+    """Explain a flight artifact (violation or supervisor quarantine)."""
+    index = TraceIndex.from_flight(dump)
+    context = dump.context or {}
+    header = dump.header or {}
+    lines = [
+        f"flight: scenario={header.get('scenario', '?')}"
+        f" seed={header.get('seed', '?')} time_fs={header.get('time_fs', '?')}",
+        f"trace: {len(dump.records)} records buffered"
+        f" ({header.get('trace_recorded', len(dump.records))} recorded,"
+        f" {header.get('trace_dropped', 0)} dropped)",
+    ]
+    violation = context.get("violation")
+    if violation:
+        explanation = explain_violation(
+            index,
+            violation,
+            increment=increment,
+            period_fs=period_fs,
+            max_hops=max_hops,
+        )
+        lines.extend(render_explanation(explanation, increment=increment))
+        return lines
+    if context.get("reason") == "supervisor-quarantine":
+        failures = context.get("failures", [])
+        lines.append(f"supervisor quarantine: {len(failures)} recorded failure(s)")
+        kinds: Dict[str, int] = {}
+        for failure in failures:
+            kind = str(failure.get("kind", "?"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+        for kind in sorted(kinds):
+            lines.append(f"  {kind}: {kinds[kind]}")
+        for failure in failures:
+            lines.append(
+                f"  attempt {failure.get('attempt', '?')}"
+                f" {failure.get('kind', '?')}: {failure.get('detail', '')}"
+            )
+        return lines
+    # No violation context: summarize the most recent jumps instead.
+    jumps = index.of_kind(EV_JUMP)
+    if jumps:
+        lines.append("no violation context; most recent jumps:")
+        for record in jumps[-5:]:
+            for hop in explain_jump(
+                index, record, increment=increment, period_fs=period_fs, max_hops=1
+            ):
+                lines.append(f"  {hop.describe(increment=increment)}")
+    else:
+        lines.append("no violation context and no jump records in the trace tail")
+    return lines

@@ -48,6 +48,7 @@ from .flight import (  # noqa: F401
     dump_flight,
     load_flight,
 )
+from .index import TraceIndex  # noqa: F401
 from .profiling import DispatchProfile
 from .registry import (  # noqa: F401
     ExpositionError,
@@ -134,6 +135,7 @@ class Telemetry:
 
 __all__ = [
     "Telemetry",
+    "TraceIndex",
     "TraceRecorder",
     "TraceRecord",
     "MetricsRegistry",

@@ -92,6 +92,104 @@ REJECT_PARITY = 2
 REJECT_UNDECODABLE = 3
 
 
+#: The reference schema: ``{code: (subject, a, b)}`` — what each field of
+#: a record of that kind means.  ``docs/OBSERVABILITY.md``'s event table is
+#: generated from this dict (see :func:`schema_markdown_lines`) and a test
+#: asserts the doc, this dict, and the ``EV_*`` constants stay in lockstep.
+EVENT_SCHEMA: Dict[int, Tuple[str, str, str]] = {
+    EV_PORT_STATE: (
+        "port",
+        "new FSM state code (down=0 / init=1 / synchronized=2)",
+        "unused (0)",
+    ),
+    EV_TX: (
+        "sending port",
+        "message type code (MessageType)",
+        "payload: counter low bits (BEACON/BEACON_JOIN/LOG carry gc; INIT "
+        "carries lc; INIT_ACK echoes; BEACON_MSB carries high bits)",
+    ),
+    EV_TX_BLOCKED: (
+        "sending port",
+        "message type code of the dropped message",
+        "unused (0)",
+    ),
+    EV_RX: (
+        "receiving port",
+        "message type code (MessageType)",
+        "decoded payload (same layout as EV_TX)",
+    ),
+    EV_LOST: (
+        "link",
+        "loss mode: LOST_WIRE=1 (dropped) / LOST_HEADER=2 (corrupted)",
+        "unused (0)",
+    ),
+    EV_REJECT: (
+        "receiving port",
+        "reason: REJECT_RANGE=1 / REJECT_PARITY=2 / REJECT_UNDECODABLE=3",
+        "offending delta in counter units (0 when undecodable)",
+    ),
+    EV_OWD: (
+        "measuring port",
+        "measured one-way delay d, counter units",
+        "alpha (wire+pipeline constant), counter units",
+    ),
+    EV_JUMP: (
+        "jumping port",
+        "delta vs the free-running reference, counter units",
+        "applied jump size (candidate - lc), counter units",
+    ),
+    EV_PEER_FAULT: (
+        "declaring port",
+        "counter jumps observed in the filter window",
+        "rejects observed in the filter window",
+    ),
+    EV_CHECK: (
+        "checker",
+        "pairs checked this tick",
+        "violations recorded this tick",
+    ),
+    EV_VIOLATION: (
+        "violated subject (node or pair)",
+        "interned invariant name id",
+        "unused (0)",
+    ),
+    EV_QUARANTINE: (
+        "quarantined node",
+        "interned fault reason id",
+        "unused (0)",
+    ),
+    EV_RELEASE: (
+        "released node",
+        "interned fault reason id",
+        "unused (0)",
+    ),
+    EV_ALARM: (
+        "monitored link",
+        "observed offset, ticks",
+        "configured bound, ticks",
+    ),
+}
+
+
+def schema_markdown_lines() -> list:
+    """The generated event-schema table for ``docs/OBSERVABILITY.md``.
+
+    One row per ``EV_*`` code, in code order, from :data:`EVENT_SCHEMA` and
+    :data:`KIND_NAMES`; the doc embeds these lines verbatim between
+    generation markers and a test diffs them.
+    """
+    lines = [
+        "| code | name | subject | `a` | `b` |",
+        "|---|---|---|---|---|",
+    ]
+    for code in sorted(EVENT_SCHEMA):
+        subject, a, b = EVENT_SCHEMA[code]
+        lines.append(
+            f"| {code} | `{KIND_NAMES[code]}` | {subject} | {a} | {b} |"
+        )
+    return lines
+
+
 def kind_name(kind: int) -> str:
     """Human-readable name of an event kind (``kind-<n>`` if unknown)."""
     return KIND_NAMES.get(kind, f"kind-{kind}")

@@ -1,0 +1,129 @@
+"""Causal jump explanation: hop-by-hop beacon chains rebuilt from traces."""
+
+from repro.faultlab import run_scenario
+from repro.insight import (
+    explain_flight,
+    explain_jump,
+    explain_violation,
+    render_explanation,
+)
+from repro.sim import units
+from repro.telemetry import Telemetry, TraceIndex, load_flight
+from repro.telemetry.events import EV_JUMP, EV_VIOLATION
+
+
+def _two_faced_spec(duration_us=600):
+    return {
+        "name": "two-faced",
+        "topology": {"kind": "chain", "hosts": 3},
+        "duration_fs": duration_us * units.US,
+        "faults": [
+            {
+                "kind": "two-faced",
+                "node": "n0",
+                "victim": "n1",
+                "lie_ticks": 7,
+                "at_fs": 200 * units.US,
+            }
+        ],
+    }
+
+
+def _run_traced(spec, seed=0):
+    telemetry = Telemetry()
+    result = run_scenario(spec, seed=seed, telemetry=telemetry)
+    return result, TraceIndex.from_recorder(telemetry.tracer)
+
+
+def test_explain_jump_walks_beacon_chain():
+    result, index = _run_traced(_two_faced_spec())
+    assert result["violations_total"] > 0
+    jumps = index.of_kind(EV_JUMP)
+    assert jumps
+    chain = explain_jump(index, jumps[-1])
+    assert chain, "no causal chain for the last jump"
+    head = chain[0]
+    assert head.time_fs == jumps[-1][0]
+    assert head.cause in ("beacon", "join")
+    # Every explained hop with a matched TX attributes its components.
+    for hop in chain:
+        assert hop.node != hop.peer
+        if hop.tx_time_fs is not None:
+            assert hop.tx_time_fs < hop.time_fs
+            assert hop.flight_ticks is not None and hop.flight_ticks > 0
+            line = hop.describe()
+            assert "from a beacon" in line
+            if hop.owd_error_ticks is not None:
+                assert "owd-error" in line
+
+
+def test_chain_names_the_liar_pingpong():
+    _result, index = _run_traced(_two_faced_spec())
+    jumps = index.stream(EV_JUMP, "n1->n0")
+    assert jumps, "victim n1 never jumped on its n0-facing port"
+    chain = explain_jump(index, jumps[-1])
+    nodes = {hop.node for hop in chain}
+    assert "n1" in nodes  # the victim is in the loop
+    peers = {hop.peer for hop in chain}
+    assert "n0" in peers or "n0" in nodes  # the liar appears in the chain
+
+
+def test_explain_violation_from_trace_records():
+    _result, index = _run_traced(_two_faced_spec())
+    violations = index.of_kind(EV_VIOLATION)
+    assert violations
+    record = violations[-1]
+    violation = {
+        "time_fs": record[0],
+        "subject": index.subject_name(record[2]),
+        "invariant": index.subject_name(record[3]),
+    }
+    explanation = explain_violation(index, violation)
+    assert len(explanation.nodes) == 2
+    assert set(explanation.nodes) <= {"n0", "n1", "n2"}
+    assert explanation.chain, "violation explanation produced no chain"
+    lines = render_explanation(explanation)
+    assert lines[0].startswith("violation:")
+    assert any("causal beacon chain" in line for line in lines)
+
+
+def test_explain_flight_artifact(tmp_path):
+    spec = _two_faced_spec()
+    run_scenario(spec, seed=0, flight_dir=str(tmp_path))
+    dump = load_flight(str(tmp_path / "two-faced.flight.jsonl"))
+    lines = explain_flight(dump)
+    text = "\n".join(lines)
+    assert "scenario=two-faced" in text
+    assert "causal beacon chain" in text
+    assert "jumped" in text
+
+
+def test_explain_flight_is_deterministic(tmp_path):
+    for sub in ("a", "b"):
+        run_scenario(_two_faced_spec(), seed=0, flight_dir=str(tmp_path / sub))
+    lines_a = explain_flight(load_flight(str(tmp_path / "a" / "two-faced.flight.jsonl")))
+    lines_b = explain_flight(load_flight(str(tmp_path / "b" / "two-faced.flight.jsonl")))
+    assert lines_a == lines_b
+
+
+def test_explain_flight_supervisor_quarantine():
+    from repro.telemetry import build_flight
+
+    telemetry = Telemetry(trace=False)
+    dump = build_flight(
+        telemetry,
+        "poison",
+        1,
+        0,
+        context={
+            "reason": "supervisor-quarantine",
+            "failures": [
+                {"task": "poison", "attempt": 1, "kind": "timeout", "detail": "hung"},
+                {"task": "poison", "attempt": 2, "kind": "crash", "detail": "rc=-9"},
+            ],
+        },
+    )
+    lines = explain_flight(dump)
+    text = "\n".join(lines)
+    assert "supervisor quarantine: 2 recorded failure(s)" in text
+    assert "crash: 1" in text and "timeout: 1" in text

@@ -1,0 +1,108 @@
+"""Bound decomposition: 2-tick OWD-error + 2-tick drift on every scenario.
+
+The acceptance matrix of this subsystem: over each built-in scenario's
+fault-free interval, every link direction's trace-measured OWD error and
+drift component must sit within the Section 3.3 budgets (2 ticks each)
+and agree with the ``dtp/analysis.py`` closed forms.
+"""
+
+import math
+
+import pytest
+
+from repro.dtp.analysis import OwdErrorAnalysis, drift_ticks_over
+from repro.experiments.parallel import derive_seed
+from repro.faultlab import builtin_specs, run_scenario
+from repro.insight import (
+    DRIFT_BUDGET_TICKS,
+    OWD_ERROR_BUDGET_TICKS,
+    decompose_links,
+    fault_free_end_fs,
+    scorecard_rows,
+)
+from repro.insight.decompose import _spec_ppm_gap
+from repro.sim import units
+from repro.telemetry import Telemetry, TraceIndex
+
+SCENARIOS = [spec["name"] for spec in builtin_specs(quick=True)]
+
+
+def _decomposed(name, base_seed=0):
+    [spec] = builtin_specs([name], quick=True)
+    telemetry = Telemetry()
+    run_scenario(spec, seed=derive_seed(base_seed, name), telemetry=telemetry)
+    index = TraceIndex.from_recorder(telemetry.tracer)
+    return spec, decompose_links(index, spec=spec)
+
+
+def test_fault_free_end_fs():
+    assert fault_free_end_fs({"faults": []}) is None
+    assert fault_free_end_fs({"faults": [{"at_fs": 5}]}) == 5
+    assert fault_free_end_fs(
+        {"faults": [{"start_fs": 9}, {"down_at_fs": 4}]}
+    ) == 4
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_builtin_scenario_within_component_budgets(name):
+    spec, scorecards = _decomposed(name)
+    assert scorecards, f"{name}: no links decomposed"
+    ppm_gap = _spec_ppm_gap(spec)
+    checked = 0
+    for card in scorecards:
+        for direction in card.directions:
+            if not direction.complete:
+                continue
+            checked += 1
+            # The two 2-tick components of the 4-tick direct bound.
+            assert direction.owd_error_ticks <= OWD_ERROR_BUDGET_TICKS, (
+                f"{name} {direction.tx_port}: owd error "
+                f"{direction.owd_error_ticks} ticks"
+            )
+            assert direction.drift_ticks <= DRIFT_BUDGET_TICKS, (
+                f"{name} {direction.tx_port}: drift {direction.drift_ticks} ticks"
+            )
+            # Closed-form cross-checks (dtp/analysis.py).
+            analysis = OwdErrorAnalysis(alpha=direction.alpha_ticks)
+            assert direction.owd_error_bound_ticks == -analysis.measured_min_minus_d
+            assert direction.owd_within_closed_form
+            # Observed drift never exceeds the analytical reclaim per
+            # interval by more than tick quantization.
+            cf = direction.drift_closed_form_ticks
+            if cf:
+                gap_ticks = round(cf / (ppm_gap * 1e-6))
+                assert cf == drift_ticks_over(gap_ticks, ppm_gap)
+                assert direction.drift_ticks <= math.ceil(cf) + 1
+    assert checked > 0, f"{name}: no complete direction to check"
+
+
+def test_fault_window_excluded_from_decomposition():
+    # link-flap's faults start at 300us; the window must end there, so the
+    # decomposition never sees flap-era beacon gaps.
+    spec, scorecards = _decomposed("link-flap")
+    end_fs = fault_free_end_fs(spec)
+    assert end_fs == 300 * units.US
+    for card in scorecards:
+        for direction in card.directions:
+            if direction.complete:
+                # closed form uses fault-free-window gaps only: a flap gap
+                # (hundreds of intervals) would push this over 2 ticks.
+                assert direction.drift_closed_form_ticks < 2.0
+
+
+def test_scorecard_rows_render():
+    _spec, scorecards = _decomposed("baseline")
+    rows = scorecard_rows(scorecards)
+    assert rows[0].startswith("| link | direction |")
+    body = rows[2:]
+    assert len(body) == sum(len(card.directions) for card in scorecards)
+    assert all("ok" in row or "incomplete" in row for row in body)
+    assert not any("EXCEEDED" in row for row in body)
+
+
+def test_reconstructed_offset_context():
+    _spec, scorecards = _decomposed("baseline")
+    for card in scorecards:
+        assert card.max_reconstructed_offset_ticks is not None
+        # 4-tick direct bound + 2 ticks anchor quantization.
+        assert card.max_reconstructed_offset_ticks <= 6
