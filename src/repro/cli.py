@@ -5,9 +5,11 @@
 (:mod:`repro.telemetry.cli`), ``repro resilience ...`` to the
 checkpoint-journal / failure-report inspector
 (:mod:`repro.resilience.cli`), ``repro insight ...`` to the trace
-analytics CLI (:mod:`repro.insight.cli`); anything else goes to the experiment
-driver (:mod:`repro.experiments.cli`), so ``repro fig6a --quick`` keeps
-working exactly like ``dtp-repro fig6a --quick``.
+analytics CLI (:mod:`repro.insight.cli`), ``repro bench`` to the core
+performance benchmarks (:mod:`repro.bench`, rewriting ``BENCH_core.json``);
+anything else goes to the experiment driver (:mod:`repro.experiments.cli`),
+so ``repro fig6a --quick`` keeps working exactly like
+``dtp-repro fig6a --quick``.
 """
 
 from __future__ import annotations
@@ -36,6 +38,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .insight.cli import main as insight_main
 
         return insight_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     from .experiments.cli import main as experiments_main
 
     return experiments_main(argv)

@@ -63,7 +63,11 @@ class DtpNetwork:
         syntonized: bool = False,
         device_specs: Optional[Dict[str, PhySpec]] = None,
         telemetry=None,
+        backend: str = "scalar",
+        tainted_nodes: Optional[frozenset] = None,
     ) -> None:
+        if backend not in ("scalar", "batched"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.sim = sim
         self.topology = topology
         self.streams = streams
@@ -144,6 +148,20 @@ class DtpNetwork:
             )
             self.ports[(edge.a, edge.b)] = port_a
             self.ports[(edge.b, edge.a)] = port_b
+
+        #: Batched-backend coordinator (``repro.fastpath``), or None under
+        #: the scalar backend.  Imported lazily so scalar runs never load
+        #: numpy-adjacent modules.
+        self.backend = backend
+        self.fastpath = None
+        if backend == "batched":
+            from ..fastpath import FastpathCoordinator
+
+            self.fastpath = FastpathCoordinator(
+                sim, frozenset(tainted_nodes or frozenset())
+            )
+            for port in self.ports.values():
+                port._fastpath = self.fastpath
 
     def _clone_config(self) -> DtpPortConfig:
         base = self.config

@@ -308,6 +308,10 @@ class DtpPort:
         ] = None
         self._beacons_since_msb = 0
         self._last_tx_slot = -1
+        #: Batched backend hook (``repro.fastpath.FastpathCoordinator`` or
+        #: None).  Scalar runs pay one ``is not None`` test per beacon
+        #: interval and per link_down, nothing else.
+        self._fastpath = None
         self._beacon_event: Optional[Event] = None
         self._init_retry_event: Optional[Event] = None
         #: Pipeline depths, read once: the latency config is immutable
@@ -367,6 +371,12 @@ class DtpPort:
 
     def link_down(self) -> None:
         """Stop all port activity (cable pulled / peer died)."""
+        fastpath = self._fastpath
+        if fastpath is not None:
+            # Demote first: in-flight virtual events become real heap
+            # events (including a restored beacon timeout) so the cancels
+            # below and the scalar DOWN checks see the scalar picture.
+            fastpath.on_link_down(self)
         self.state = PortState.DOWN
         if self._tracer is not None:
             self._tracer.record(self.sim._now, EV_PORT_STATE, self._sid, STATE_DOWN)
@@ -532,6 +542,9 @@ class DtpPort:
         """T3: send (BEACON, gc); occasionally a BEACON_MSB too."""
         if self.state is not PortState.SYNCHRONIZED:
             return
+        fastpath = self._fastpath
+        if fastpath is not None and fastpath.on_beacon_timeout(self):
+            return  # direction promoted: the coordinator owns this beacon
         self._schedule_transmit(dtpmsg.MessageType.BEACON, self._beacon_payload)
         self._beacons_since_msb += 1
         if self._beacons_since_msb >= self.config.msb_interval_beacons:

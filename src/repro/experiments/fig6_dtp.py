@@ -23,7 +23,7 @@ from ..dtp.port import DtpPortConfig
 from ..ethernet.frames import beacon_interval_ticks_for
 from ..network.topology import paper_testbed
 from ..sim import units
-from ..sim.engine import Simulator
+from ..sim.engine import MacroTickSimulator, Simulator
 from ..sim.randomness import RandomStreams
 from .harness import ExperimentResult, TimeSeries, histogram
 from .workloads import frame_for, saturated_traffic
@@ -83,22 +83,28 @@ def run_fig6_dtp(
     config: Fig6DtpConfig,
     pairs: List[Tuple[str, str]] = None,
     telemetry=None,
+    backend: str = "scalar",
 ) -> ExperimentResult:
     """Run one heavily-loaded DTP precision experiment.
 
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is optional; the
     default ``None`` keeps the run on the exact untraced code paths, so
-    the published experiment digests are unchanged.
+    the published experiment digests are unchanged.  ``backend="batched"``
+    runs on the :mod:`repro.fastpath` coordinator; the result (and its
+    digest) is byte-identical to the scalar run.
     """
     pairs = pairs if pairs is not None else FIG6AB_PAIRS
     frame = frame_for(config.frame_name)
     beacon_interval = beacon_interval_ticks_for(frame)
 
-    sim = Simulator()
+    sim = MacroTickSimulator() if backend == "batched" else Simulator()
     streams = RandomStreams(config.seed)
     topology = paper_testbed()
     port_config = DtpPortConfig(beacon_interval_ticks=beacon_interval)
-    net = DtpNetwork(sim, topology, streams, config=port_config, telemetry=telemetry)
+    net = DtpNetwork(
+        sim, topology, streams, config=port_config, telemetry=telemetry,
+        backend=backend,
+    )
     net.start()
     net.install_traffic(saturated_traffic(config.frame_name), start_tick=20_000)
     for sender, receiver in pairs:

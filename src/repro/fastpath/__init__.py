@@ -1,0 +1,21 @@
+"""Batched beacon-interval fast path for steady-state DTP.
+
+See :mod:`repro.fastpath.coordinator` for the execution model and the
+bit-identical equivalence argument, :mod:`repro.fastpath.eligibility` for
+the promotion rules, and :mod:`repro.fastpath.kernels` for the vectorized
+numpy helpers used to precompute and cross-check tick grids.
+"""
+
+from .coordinator import FastpathCoordinator
+from .eligibility import (
+    direction_eligible,
+    direction_ineligible_reason,
+    eligibility_report,
+)
+
+__all__ = [
+    "FastpathCoordinator",
+    "direction_eligible",
+    "direction_ineligible_reason",
+    "eligibility_report",
+]

@@ -1,0 +1,717 @@
+"""Batched beacon-interval execution with exact scalar equivalence.
+
+The coordinator advances healthy DTP directions through their steady-state
+beacon cycle without touching the engine heap.  Each scalar beacon chain
+
+    _beacon_timeout -> _transmit_now -> _arrive -> _process
+
+becomes four *virtual* events (PLAN, CAPTURE, ARRIVE, APPLY) held in the
+coordinator's own queue.  :meth:`FastpathCoordinator.run_merged` — the
+loop :class:`~repro.sim.engine.MacroTickSimulator` delegates to — merges
+that queue with the engine heap by ``(time, seq)`` with all four stage
+bodies inlined, so a steady-state beacon interval costs a handful of
+integer operations and two small-heap pushes instead of four engine
+dispatches through the full port machinery.
+
+**Why this is bit-identical, not approximately identical:**
+
+* Virtual events draw their sequence numbers from the *engine's* counter
+  at exactly the moments the scalar run would have allocated them (the
+  transmit post inside the beacon timeout, the arrival post at the TX
+  instant, the process post at the arrival).  The merged ``(time, seq)``
+  order is therefore the same total order a scalar run produces —
+  including same-femtosecond ties, which are common on a shared device
+  oscillator and *do* change payloads when a capture and a jump collide.
+* The slot arbiter (``_last_tx_slot``) and MSB cadence counter stay on the
+  port object itself, so scalar transmissions (LOG records, JOINs, INIT
+  retries) interleave with batched beacons through the very same state.
+* All clock state (``lc``/``gc`` offsets, adjustment counts, stats cells,
+  fault-window counters, CDC crossing counts and RNG streams) is mutated
+  in place at virtual-event time, so any scalar event — an invariant
+  checker tick, a logger, a watcher — reads exactly what it would have
+  read mid-chain in a scalar run.
+* Anything irregular demotes the direction: pending virtual events are
+  re-materialized as real heap events at their original times and the
+  scalar path finishes the chain (``link_down``, a tripped fault window).
+  Fault-armed devices never promote at all (see ``eligibility``).
+
+The stage bodies exist twice: inlined in :meth:`run_merged` (the hot
+loop) and as ``_plan_stage``/``_capture_stage``/``_arrive_stage``/
+``_apply_stage`` methods (used by the single-step path and as the
+readable reference).  Any change to one MUST be mirrored in the other;
+the equivalence tests compare both backends through ``run_until`` and
+``step`` to catch drift.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..dtp import messages as dtpmsg
+from ..dtp.port import DtpPort
+from ..phy.blocks import IDLE_WIRE_BASE
+from ..sim.engine import MacroTickSimulator, SimulationError
+from .eligibility import direction_ineligible_reason
+
+#: Virtual-event stages.  BEACON and BEACON_MSB flavors are distinct so
+#: payloads travel pre-decoded (no 56-bit pack/unpack on the hot path).
+PLAN = 0
+CAP_B = 1
+CAP_M = 2
+ARR_B = 3
+ARR_M = 4
+APP_B = 5
+APP_M = 6
+
+_SHIFTED_BEACON = dtpmsg.SHIFTED_TYPE[dtpmsg.MessageType.BEACON]
+_SHIFTED_MSB = dtpmsg.SHIFTED_TYPE[dtpmsg.MessageType.BEACON_MSB]
+_LOW_BITS = dtpmsg.COUNTER_LOW_BITS
+_LOW_MASK = dtpmsg.COUNTER_LOW_MASK
+_MOD = 1 << _LOW_BITS
+_HALF = _MOD >> 1
+
+# Virtual heap entries are plain tuples:
+#   (time_fs, seq, stage, direction, payload, epoch)
+# An entry is live iff its epoch matches its direction's current epoch;
+# demotion bumps the epoch, killing every pending entry at once without
+# touching the heap.  ``_dead`` counts killed-but-unpopped entries so the
+# hot loop skips the liveness check entirely while it is zero.
+
+
+class _Direction:
+    """One batched link direction (``sender`` beacons into ``receiver``),
+    with every per-chain constant resolved once at promotion time."""
+
+    __slots__ = (
+        "sender",
+        "receiver",
+        "epoch",
+        # Oscillators + cached piecewise-affine segments (refreshed on miss;
+        # any segment whose range covers a query is correct, since segments
+        # partition both time and tick indices).
+        "posc",
+        "qosc",
+        "pseg",
+        "qseg",
+        # Clocks.
+        "gc_p",
+        "lc_q",
+        "gc_q",
+        # Protocol constants.
+        "d",
+        "thresh",
+        "interval",
+        "msb_every",
+        "txpipe",
+        "wire",
+        "rxpipe",
+        # Receiver CDC.
+        "fifo",
+        "rand",
+        "bound",
+        "kbits",
+        # Stats cells (cached after any registry binding; ``Counter`` cells
+        # are stable for the lifetime of the port).
+        "sent_b",
+        "sent_m",
+        "recv_b",
+        "recv_m",
+        "jumps_cell",
+        "rej_cell",
+        "stats_q",
+        # Fault-window config.
+        "fw",
+        "maxj",
+        "maxr",
+    )
+
+    def __init__(self, sender: DtpPort) -> None:
+        receiver = sender.peer
+        self.sender = sender
+        self.receiver = receiver
+        self.epoch = 0
+        self.posc = sender.osc
+        self.qosc = receiver.osc
+        self.pseg = None
+        self.qseg = None
+        self.gc_p = sender.device.gc
+        self.lc_q = receiver.lc
+        self.gc_q = receiver.device.gc
+        self.d = receiver.d
+        self.thresh = receiver._reject_threshold
+        cfg = sender.config
+        self.interval = cfg.beacon_interval_ticks
+        self.msb_every = cfg.msb_interval_beacons
+        self.txpipe = sender._tx_pipeline_ticks
+        self.wire = sender.wire_delay_fs
+        self.rxpipe = receiver._rx_pipeline_ticks
+        fifo = receiver.fifo
+        self.fifo = fifo
+        self.rand = fifo.rng.getrandbits
+        self.bound = fifo.max_extra_cycles + 1
+        self.kbits = self.bound.bit_length()
+        self.sent_b = sender.stats._sent["BEACON"]
+        self.sent_m = sender.stats._sent["BEACON_MSB"]
+        self.recv_b = receiver.stats._received["BEACON"]
+        self.recv_m = receiver.stats._received["BEACON_MSB"]
+        self.jumps_cell = receiver.stats._jumps
+        self.rej_cell = receiver.stats._rejected["out_of_range"]
+        self.stats_q = receiver.stats
+        qcfg = receiver.config
+        self.fw = qcfg.fault_window_beacons
+        self.maxj = qcfg.max_jumps_per_window
+        self.maxr = qcfg.max_rejects_per_window
+
+
+class FastpathCoordinator:
+    """Virtual-event source and merged run loop for the batched backend.
+
+    Create one per network, attach it to a :class:`MacroTickSimulator`,
+    and point every port's ``_fastpath`` at it; ports then promote
+    themselves from their own ``_beacon_timeout`` once eligible.
+    """
+
+    def __init__(
+        self, sim: MacroTickSimulator, tainted: FrozenSet[str] = frozenset()
+    ) -> None:
+        if not isinstance(sim, MacroTickSimulator):
+            raise TypeError(
+                "the batched backend needs a MacroTickSimulator "
+                f"(got {type(sim).__name__})"
+            )
+        self.sim = sim
+        self.tainted = frozenset(tainted)
+        self._heap: List[tuple] = []
+        self._dead = 0
+        self._dirs: dict = {}
+        #: Instrumentation (not part of any digest).
+        self.promotions = 0
+        self.demotions = 0
+        self.virtual_events = 0
+        sim.attach_fastpath(self)
+
+    # ------------------------------------------------------------------
+    # Promotion / demotion
+    # ------------------------------------------------------------------
+    def on_beacon_timeout(self, port: DtpPort) -> bool:
+        """Called by ``DtpPort._beacon_timeout``; True = direction batched.
+
+        Runs at the port's own beacon instant, so taking over is seamless:
+        this very beacon is planned virtually with the same sequence
+        numbers the scalar body would have allocated.
+        """
+        if direction_ineligible_reason(port, self.tainted) is not None:
+            return False
+        ds = _Direction(port)
+        self._dirs[port] = ds
+        port._beacon_event = None
+        self.promotions += 1
+        self._plan_stage(ds, self.sim._now)
+        return True
+
+    def on_link_down(self, port: DtpPort) -> None:
+        """Demote both directions touching ``port`` (cable pulled)."""
+        ds = self._dirs.get(port)
+        if ds is not None:
+            self.demote(ds)
+        peer = port.peer
+        if peer is not None:
+            ds = self._dirs.get(peer)
+            if ds is not None:
+                self.demote(ds)
+
+    def demote(self, ds: _Direction) -> None:
+        """Hand a direction back to the scalar path.
+
+        Every pending virtual event is re-materialized as a real heap
+        event at its original firing time; the scalar handlers then run
+        their full checks (link state, TX gate, BER, parity) against
+        whatever triggered the demotion.  Conversion follows the original
+        sequence order, so same-instant ties keep their scalar order.
+        """
+        sim = self.sim
+        p = ds.sender
+        q = ds.receiver
+        epoch = ds.epoch
+        pending = [e for e in self._heap if e[3] is ds and e[5] == epoch]
+        ds.epoch = epoch + 1
+        self._dead += len(pending)
+        pending.sort(key=lambda e: e[1])
+        for when, _seq, stage, _ds, payload, _epoch in pending:
+            if stage == PLAN:
+                p._beacon_event = sim.schedule_at(when, p._beacon_timeout)
+            elif stage == CAP_B:
+                sim.post_at(
+                    when,
+                    p._transmit_now,
+                    dtpmsg.MessageType.BEACON,
+                    p._beacon_payload,
+                )
+            elif stage == CAP_M:
+                sim.post_at(
+                    when,
+                    p._transmit_now,
+                    dtpmsg.MessageType.BEACON_MSB,
+                    lambda t, _p=p: dtpmsg.counter_high(_p._tx_counter(t)),
+                )
+            elif stage == ARR_B:
+                sim.post_at(
+                    when,
+                    q._arrive,
+                    IDLE_WIRE_BASE | _SHIFTED_BEACON | payload,
+                )
+            elif stage == ARR_M:
+                sim.post_at(
+                    when, q._arrive, IDLE_WIRE_BASE | _SHIFTED_MSB | payload
+                )
+            elif stage == APP_B:
+                sim.post_at(when, q._process, _SHIFTED_BEACON | payload)
+            else:  # APP_M
+                sim.post_at(when, q._process, _SHIFTED_MSB | payload)
+        del self._dirs[p]
+        self.demotions += 1
+
+    def batched_directions(self) -> List[str]:
+        """Names of currently batched sender ports (instrumentation)."""
+        return sorted(port.name for port in self._dirs)
+
+    # ------------------------------------------------------------------
+    # The merged run loop (hot path — stage bodies inlined)
+    # ------------------------------------------------------------------
+    def run_merged(self, time_fs: int) -> None:
+        """Run engine + virtual events with ``time <= time_fs``, merged.
+
+        Exactly :meth:`Simulator.run_until` over the union of the two
+        queues, ordered by ``(time, seq)``.  Simulation time is left at
+        ``time_fs``.
+        """
+        sim = self.sim
+        if time_fs < sim._now:
+            raise SimulationError(
+                f"run_until({time_fs}) is in the past (now={sim._now})"
+            )
+        queue = sim._queue
+        vheap = self._heap
+        pop = heappop
+        push = heappush
+        profile = sim.profile
+        dispatched = 0
+        # Hot-loop locals, published back to the shared state only around
+        # call-outs (scalar dispatch, fault-window rolls): the engine seq
+        # counter, the dead-entry count, and the engine heap head (the
+        # engine heap cannot change while only virtual events dispatch,
+        # so one peek survives an entire quiescent stretch — this is the
+        # macro-tick fast-forward).
+        seqc = sim._seq
+        dead = self._dead
+        entry = None
+        et = eseq = 0
+        refresh = True
+        while True:
+            if refresh:
+                while queue and queue[0][4].cancelled:
+                    pop(queue)
+                    sim._cancelled_in_queue -= 1
+                if queue:
+                    entry = queue[0]
+                    et = entry[0]
+                    eseq = entry[1]
+                else:
+                    entry = None
+                refresh = False
+            if dead:
+                while vheap:
+                    head = vheap[0]
+                    if head[5] != head[3].epoch:
+                        pop(vheap)
+                        dead -= 1
+                    else:
+                        break
+            if vheap:
+                vtop = vheap[0]
+                if entry is None:
+                    virtual = True
+                else:
+                    vt = vtop[0]
+                    virtual = vt < et or (vt == et and vtop[1] < eseq)
+            elif entry is not None:
+                virtual = False
+            else:
+                break
+
+            if not virtual:
+                now = et
+                if now > time_fs:
+                    break
+                pop(queue)
+                sim._pending -= 1
+                sim._now = now
+                sim._seq = seqc
+                self._dead = dead
+                if profile is not None:
+                    profile.count(entry[2])
+                entry[2](*entry[3])
+                seqc = sim._seq
+                dead = self._dead
+                refresh = True
+                continue
+
+            now = vtop[0]
+            if now > time_fs:
+                break
+            pop(vheap)
+            dispatched += 1
+            stage = vtop[2]
+            ds = vtop[3]
+
+            # --- APPLY (BEACON): T4 with Section 3.2 filtering ---------
+            # Mirrors _process + _on_beacon + _fault_window_tick; keep in
+            # sync with _apply_stage below.
+            if stage == APP_B:
+                ds.recv_b.value += 1
+                if ds.receiver.peer_faulty:
+                    continue
+                lc = ds.lc_q
+                seg = ds.qseg
+                if seg is not None and seg.start_fs <= now < seg.end_fs:
+                    fe = seg.first_edge_fs
+                    if now < fe:
+                        ticks = seg.start_count
+                    else:
+                        ticks = seg.start_count + (now - fe) // seg.period_fs + 1
+                else:
+                    osc = ds.qosc
+                    ticks = osc.ticks_at(now)
+                    ds.qseg = osc._last_hit
+                lc_now = lc.increment * ticks + lc.offset
+                # reconstruct_counter, inlined.
+                value = ((lc_now >> _LOW_BITS) << _LOW_BITS) + vtop[4]
+                dv = value - lc_now
+                if dv >= _HALF:
+                    value -= _MOD
+                elif dv < -_HALF:
+                    value += _MOD
+                candidate = value + ds.d
+                delta = candidate - lc_now
+                stats = ds.stats_q
+                stats.beacons_in_window += 1
+                thresh = ds.thresh
+                if delta > thresh or delta < -thresh:
+                    ds.rej_cell.value += 1
+                    stats.rejects_in_window += 1
+                else:
+                    if candidate > lc_now:
+                        # lc.adjust_to_max + device.on_local_jump, inlined.
+                        lc.offset += delta
+                        lc.adjustments += 1
+                        ds.jumps_cell.value += 1
+                        stats.jumps_in_window += 1
+                        gc = ds.gc_q
+                        gc_now = gc.increment * ticks + gc.offset
+                        if candidate > gc_now:
+                            gc.offset += candidate - gc_now
+                            gc.adjustments += 1
+                if stats.beacons_in_window >= ds.fw:
+                    sim._now = now
+                    sim._seq = seqc
+                    self._dead = dead
+                    self._roll_fault_window(ds)
+                    seqc = sim._seq
+                    dead = self._dead
+                    refresh = True
+                continue
+
+            # --- ARRIVE: CDC quantize + the one random settling cycle --
+            # Mirrors _arrive; keep in sync with _arrive_stage below.
+            if stage == ARR_B or stage == ARR_M:
+                ds.fifo.crossings += 1
+                seg = ds.qseg
+                n = -1
+                if seg is not None and seg.start_fs <= now < seg.end_fs:
+                    fe = seg.first_edge_fs
+                    if now < fe:
+                        if seg.edge_count:
+                            n = seg.start_count + 1
+                    else:
+                        k = (now - fe) // seg.period_fs + 1
+                        if k < seg.edge_count:
+                            n = seg.start_count + k + 1
+                osc = ds.qosc
+                if n < 0:
+                    n = osc.edge_index_after(now)
+                    ds.qseg = osc._last_hit
+                # Exact inline of rng.randint(0, max_extra_cycles): the
+                # same accept-reject loop, on the same stream.
+                bound = ds.bound
+                rand = ds.rand
+                kb = ds.kbits
+                r = rand(kb)
+                while r >= bound:
+                    r = rand(kb)
+                n += r + ds.rxpipe
+                seg = ds.qseg
+                sc = seg.start_count
+                if sc < n <= sc + seg.edge_count:
+                    when = seg.first_edge_fs + (n - sc - 1) * seg.period_fs
+                else:
+                    when = osc.time_of_tick(n)
+                    ds.qseg = osc._last_hit
+                push(vheap, (when, seqc, stage + 2, ds, vtop[4], vtop[5]))
+                seqc += 1
+                continue
+
+            # --- CAPTURE: read gc, stamp the payload, fly --------------
+            # Mirrors _transmit_now; keep in sync with _capture_stage.
+            if stage == CAP_B or stage == CAP_M:
+                seg = ds.pseg
+                if seg is not None and seg.start_fs <= now < seg.end_fs:
+                    fe = seg.first_edge_fs
+                    if now < fe:
+                        tick = seg.start_count
+                    else:
+                        tick = seg.start_count + (now - fe) // seg.period_fs + 1
+                else:
+                    osc = ds.posc
+                    tick = osc.ticks_at(now)
+                    ds.pseg = osc._last_hit
+                gc = ds.gc_p
+                counter = gc.increment * tick + gc.offset
+                if stage == CAP_B:
+                    payload = counter & _LOW_MASK
+                    ds.sent_b.value += 1
+                else:
+                    payload = (counter >> _LOW_BITS) & _LOW_MASK
+                    ds.sent_m.value += 1
+                n = tick + ds.txpipe
+                if n >= 1:
+                    seg = ds.pseg
+                    sc = seg.start_count
+                    if sc < n <= sc + seg.edge_count:
+                        exit_fs = (
+                            seg.first_edge_fs + (n - sc - 1) * seg.period_fs
+                        )
+                    else:
+                        osc = ds.posc
+                        exit_fs = osc.time_of_tick(n)
+                        ds.pseg = osc._last_hit
+                else:
+                    exit_fs = now
+                push(
+                    vheap,
+                    (exit_fs + ds.wire, seqc, stage + 2, ds, payload, vtop[5]),
+                )
+                seqc += 1
+                continue
+
+            # --- APPLY (BEACON_MSB): learn the counter's high half ------
+            if stage == APP_M:
+                ds.recv_m.value += 1
+                ds.receiver.remote_msb = vtop[4]
+                continue
+
+            # --- PLAN: beacon timeout — arbitrate slots, chain the next -
+            # Mirrors _beacon_timeout + _schedule_transmit; keep in sync
+            # with _plan_stage below.
+            p = ds.sender
+            seg = ds.pseg
+            if seg is not None and seg.start_fs <= now < seg.end_fs:
+                fe = seg.first_edge_fs
+                if now < fe:
+                    tick = seg.start_count
+                else:
+                    tick = seg.start_count + (now - fe) // seg.period_fs + 1
+            else:
+                osc = ds.posc
+                tick = osc.ticks_at(now)
+                ds.pseg = osc._last_hit
+            last = p._last_tx_slot
+            want = tick + 1 if tick > last else last + 1
+            slot = p.traffic.next_idle_tick(want)
+            p._last_tx_slot = slot
+            seg = ds.pseg
+            sc = seg.start_count
+            if sc < slot <= sc + seg.edge_count:
+                when = seg.first_edge_fs + (slot - sc - 1) * seg.period_fs
+            else:
+                osc = ds.posc
+                when = osc.time_of_tick(slot)
+                ds.pseg = osc._last_hit
+            epoch = vtop[5]
+            push(vheap, (when, seqc, CAP_B, ds, 0, epoch))
+            seqc += 1
+            b = p._beacons_since_msb + 1
+            if b >= ds.msb_every:
+                p._beacons_since_msb = 0
+                want = tick + 1 if tick > slot else slot + 1
+                slot = p.traffic.next_idle_tick(want)
+                p._last_tx_slot = slot
+                push(vheap, (self._tot_p(ds, slot), seqc, CAP_M, ds, 0, epoch))
+                seqc += 1
+            else:
+                p._beacons_since_msb = b
+            n = tick + ds.interval
+            seg = ds.pseg
+            sc = seg.start_count
+            if sc < n <= sc + seg.edge_count:
+                when = seg.first_edge_fs + (n - sc - 1) * seg.period_fs
+            else:
+                osc = ds.posc
+                when = osc.time_of_tick(n)
+                ds.pseg = osc._last_hit
+            push(vheap, (when, seqc, PLAN, ds, 0, epoch))
+            seqc += 1
+
+        sim._seq = seqc
+        self._dead = dead
+        self.virtual_events += dispatched
+        sim._now = time_fs
+
+    def _tot_p(self, ds: _Direction, n: int) -> int:
+        """``time_of_tick`` on the sender oscillator via the segment cache."""
+        seg = ds.pseg
+        sc = seg.start_count
+        if sc < n <= sc + seg.edge_count:
+            return seg.first_edge_fs + (n - sc - 1) * seg.period_fs
+        osc = ds.posc
+        when = osc.time_of_tick(n)
+        ds.pseg = osc._last_hit
+        return when
+
+    def _roll_fault_window(self, ds: _Direction) -> None:
+        """Mirror ``_fault_window_tick``'s window roll; demote on a trip."""
+        q = ds.receiver
+        stats = ds.stats_q
+        jumps = stats.jumps_in_window
+        rejects = stats.rejects_in_window
+        stats.beacons_in_window = 0
+        stats.jumps_in_window = 0
+        stats.rejects_in_window = 0
+        too_many_jumps = ds.maxj is not None and jumps > ds.maxj
+        too_many_rejects = ds.maxr is not None and rejects > ds.maxr
+        if too_many_jumps or too_many_rejects:
+            q.peer_faulty = True
+            self.demote(ds)
+            if q.on_fault is not None:
+                q.on_fault(q)
+
+    # ------------------------------------------------------------------
+    # Single-step source protocol (slow path, used by Simulator.step/run)
+    # ------------------------------------------------------------------
+    def next_key(self) -> Optional[Tuple[int, int]]:
+        heap = self._heap
+        while heap and heap[0][5] != heap[0][3].epoch:
+            heappop(heap)
+            self._dead -= 1
+        if not heap:
+            return None
+        top = heap[0]
+        return (top[0], top[1])
+
+    def dispatch_next(self) -> None:
+        heap = self._heap
+        entry = heappop(heap)
+        while entry[5] != entry[3].epoch:
+            self._dead -= 1
+            entry = heappop(heap)
+        when, _seq, stage, ds, payload, _epoch = entry
+        self.virtual_events += 1
+        if stage == APP_B or stage == APP_M:
+            self._apply_stage(ds, when, stage, payload)
+        elif stage == ARR_B or stage == ARR_M:
+            self._arrive_stage(ds, when, stage, payload)
+        elif stage == CAP_B or stage == CAP_M:
+            self._capture_stage(ds, when, stage)
+        else:
+            self._plan_stage(ds, when)
+
+    # ------------------------------------------------------------------
+    # Stage bodies, method form (reference implementations; the inlined
+    # copies in run_merged must match these exactly)
+    # ------------------------------------------------------------------
+    def _push(self, when: int, stage: int, ds: _Direction, payload: int) -> None:
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        heappush(self._heap, (when, seq, stage, ds, payload, ds.epoch))
+
+    def _plan_stage(self, ds: _Direction, now: int) -> None:
+        """Virtual ``_beacon_timeout``: arbitrate TX slots, chain the next."""
+        p = ds.sender
+        osc = ds.posc
+        tick = osc.ticks_at(now)
+        slot = p.traffic.next_idle_tick(max(tick + 1, p._last_tx_slot + 1))
+        p._last_tx_slot = slot
+        self._push(osc.time_of_tick(slot), CAP_B, ds, 0)
+        p._beacons_since_msb += 1
+        if p._beacons_since_msb >= ds.msb_every:
+            p._beacons_since_msb = 0
+            slot = p.traffic.next_idle_tick(max(tick + 1, slot + 1))
+            p._last_tx_slot = slot
+            self._push(osc.time_of_tick(slot), CAP_M, ds, 0)
+        self._push(osc.time_of_tick(tick + ds.interval), PLAN, ds, 0)
+
+    def _capture_stage(self, ds: _Direction, now: int, stage: int) -> None:
+        """Virtual ``_transmit_now``: read gc, stamp the payload, fly."""
+        osc = ds.posc
+        gc = ds.gc_p
+        tick = osc.ticks_at(now)
+        counter = gc.increment * tick + gc.offset
+        if stage == CAP_B:
+            payload = counter & _LOW_MASK
+            ds.sent_b.value += 1
+        else:
+            payload = (counter >> _LOW_BITS) & _LOW_MASK
+            ds.sent_m.value += 1
+        n = tick + ds.txpipe
+        exit_fs = osc.time_of_tick(n) if n >= 1 else now
+        self._push(exit_fs + ds.wire, stage + 2, ds, payload)
+
+    def _arrive_stage(self, ds: _Direction, now: int, stage: int, payload: int) -> None:
+        """Virtual ``_arrive``: CDC quantize + one random settling cycle."""
+        osc = ds.qosc
+        ds.fifo.crossings += 1
+        n = osc.edge_index_after(now)
+        bound = ds.bound
+        rand = ds.rand
+        r = rand(ds.kbits)
+        while r >= bound:
+            r = rand(ds.kbits)
+        self._push(
+            osc.time_of_tick(n + r + ds.rxpipe), stage + 2, ds, payload
+        )
+
+    def _apply_stage(self, ds: _Direction, now: int, stage: int, payload: int) -> None:
+        """Virtual ``_process`` + ``_on_beacon``/``_on_msb``: T4."""
+        if stage == APP_M:
+            ds.recv_m.value += 1
+            ds.receiver.remote_msb = payload
+            return
+        ds.recv_b.value += 1
+        if ds.receiver.peer_faulty:
+            return
+        lc = ds.lc_q
+        lc_now = lc.increment * ds.qosc.ticks_at(now) + lc.offset
+        remote = dtpmsg.reconstruct_counter(payload, lc_now)
+        candidate = remote + ds.d
+        # reference_counter_at == counter_at for the plain TickClocks the
+        # eligibility check admits, so delta reuses lc_now.
+        delta = candidate - lc_now
+        stats = ds.stats_q
+        stats.beacons_in_window += 1
+        if delta > ds.thresh or delta < -ds.thresh:
+            ds.rej_cell.value += 1
+            stats.rejects_in_window += 1
+        else:
+            if candidate > lc_now:
+                lc.offset += delta
+                lc.adjustments += 1
+                ds.jumps_cell.value += 1
+                stats.jumps_in_window += 1
+                gc = ds.gc_q
+                gc_now = gc.increment * ds.qosc.ticks_at(now) + gc.offset
+                if candidate > gc_now:
+                    gc.offset += candidate - gc_now
+                    gc.adjustments += 1
+        if stats.beacons_in_window >= ds.fw:
+            self._roll_fault_window(ds)

@@ -1,0 +1,90 @@
+"""Static eligibility analysis for the batched beacon fast path.
+
+A link *direction* (sender port -> its peer) may be promoted into the
+batched backend only when every semantic the batched kernels implement is
+exactly the semantic the scalar path would execute.  Anything irregular —
+fault hooks armed on either device, parity, BER injection, a TX gate, a
+patched TX counter (two-faced fault), telemetry tracing, a non-vanilla
+clock or device subclass — keeps the direction on the scalar path, which
+therefore remains the oracle.
+
+The checks are deliberately *conservative and explicit*: a direction that
+fails any check simply never leaves the scalar path, costing nothing but
+the missed speedup.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..clocks.clock import TickClock
+from ..dtp.device import DtpDevice
+from ..dtp.port import DtpPort, PortState
+from ..phy.cdc import SyncFifo
+
+
+def direction_ineligible_reason(
+    port: DtpPort, tainted: FrozenSet[str]
+) -> Optional[str]:
+    """Why ``port``'s send direction cannot be batched (None = eligible).
+
+    ``port`` is the *sender* of the direction; its peer is the receiver.
+    ``tainted`` holds node names with any fault model armed on them: every
+    direction touching a tainted device stays scalar so arm-time and
+    mid-run fault mutations (BER, TX gates, counter rewrites, crash
+    restarts) always execute against the scalar machinery they patch.
+    """
+    peer = port.peer
+    if peer is None:
+        return "no peer"
+    if port.state is not PortState.SYNCHRONIZED:
+        return "sender not synchronized"
+    if peer.state is not PortState.SYNCHRONIZED:
+        return "receiver not synchronized"
+    if peer.d is None:
+        return "receiver OWD not measured"
+    if peer.peer_faulty:
+        return "receiver marked sender faulty"
+    if port.device.name in tainted or peer.device.name in tainted:
+        return "fault model armed on an endpoint device"
+    if port.tx_allow is not None:
+        return "TX gate installed"
+    if port.ber is not None:
+        return "bit-error injection active"
+    if port.config.parity or peer.config.parity:
+        return "parity beacons enabled"
+    if port._tracer is not None or peer._tracer is not None:
+        return "telemetry tracing enabled"
+    if getattr(port._tx_counter, "__func__", None) is not DtpPort._tx_counter:
+        return "TX counter patched"
+    if type(port.device) is not DtpDevice or type(peer.device) is not DtpDevice:
+        return "non-standard device"
+    if type(port.lc) is not TickClock or type(peer.lc) is not TickClock:
+        return "non-standard local clock"
+    if (
+        type(port.device.gc) is not TickClock
+        or type(peer.device.gc) is not TickClock
+    ):
+        return "non-standard global clock"
+    if type(peer.fifo) is not SyncFifo or not peer.fifo.enabled:
+        return "non-standard CDC FIFO"
+    if peer.peer is not port:
+        return "asymmetric peering"
+    return None
+
+
+def direction_eligible(port: DtpPort, tainted: FrozenSet[str]) -> bool:
+    """True when ``port``'s send direction may enter the batched backend."""
+    return direction_ineligible_reason(port, tainted) is None
+
+
+def eligibility_report(
+    ports, tainted: FrozenSet[str]
+) -> List[Tuple[str, Optional[str]]]:
+    """(port name, ineligibility reason or None) for every port, sorted."""
+    rows = [
+        (port.name, direction_ineligible_reason(port, tainted))
+        for port in ports
+    ]
+    rows.sort(key=lambda row: row[0])
+    return rows

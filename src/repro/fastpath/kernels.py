@@ -1,0 +1,152 @@
+"""Vectorized int64 kernels over oscillator tick grids.
+
+Steady-state DTP is affine almost everywhere: within one oscillator
+segment (piecewise-constant period, ~1 ms of simulated time, thousands of
+beacon intervals) every quantity the protocol computes — beacon TX
+instants, counter values, candidates, max-merges — is an integer affine
+function of the tick index.  These kernels exploit that to compute whole
+grids of values in a handful of numpy operations per *segment* instead of
+one Python call per *tick*.
+
+They serve two roles:
+
+* **verification** — the equivalence tests recompute the event-by-event
+  fast path's per-chain arithmetic (`repro.fastpath.coordinator`) over
+  entire windows at once and cross-check both against the scalar oracle;
+* **analytics** — offline grid computation for benchmarks and insight
+  tooling (e.g. expected jump sequences from a counter trace) at numpy
+  speed.
+
+All times are femtoseconds, all counters unbounded-width (the grids use
+``object`` dtype only when values overflow int64; DTP counters in the
+simulated horizons here fit comfortably).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..clocks.oscillator import Oscillator
+
+#: Per-direction steady-state snapshot used by grid computations.
+DIRECTION_DTYPE = np.dtype(
+    [
+        ("tick", np.int64),  # sender tick count at snapshot time
+        ("last_slot", np.int64),  # sender TX slot arbiter state
+        ("gc_offset", np.int64),  # sender device gc offset
+        ("increment", np.int64),  # counter increment per tick
+        ("d", np.int64),  # receiver's measured OWD (counter units)
+        ("wire_delay", np.int64),  # fs of wire propagation
+        ("interval", np.int64),  # beacon interval in ticks
+    ]
+)
+
+
+def direction_grid(directions) -> np.ndarray:
+    """Snapshot batched directions into a ``DIRECTION_DTYPE`` array.
+
+    ``directions`` is an iterable of ``_Direction`` objects (see
+    :mod:`repro.fastpath.coordinator`); the snapshot reads current
+    simulation time from each sender's engine.
+    """
+    rows = []
+    for ds in directions:
+        p = ds.sender
+        q = ds.receiver
+        gc = p.device.gc
+        rows.append(
+            (
+                p.osc.ticks_at(p.sim._now),
+                p._last_tx_slot,
+                gc.offset,
+                gc.increment,
+                q.d if q.d is not None else -1,
+                p.wire_delay_fs,
+                p.config.beacon_interval_ticks,
+            )
+        )
+    return np.array(rows, dtype=DIRECTION_DTYPE)
+
+
+def edge_times(osc: Oscillator, ticks: np.ndarray) -> np.ndarray:
+    """Vectorized ``osc.time_of_tick`` over a sorted int64 tick array.
+
+    One numpy operation per oscillator segment touched: segment
+    parameters come from the scalar API (two calls per segment), the
+    affine fill ``first_edge + (n - start - 1) * period`` is vectorized.
+    """
+    ticks = np.asarray(ticks, dtype=np.int64)
+    if ticks.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if ticks.min() < 1:
+        raise ValueError("tick indices must be >= 1")
+    out = np.empty(ticks.shape, dtype=np.int64)
+    i = 0
+    n = int(ticks.size)
+    flat = ticks.ravel()
+    out_flat = out.ravel()
+    while i < n:
+        # One scalar oracle call materializes (and caches) the segment
+        # containing this tick; segments partition tick indices
+        # contiguously, so every queried index up to the segment's last
+        # edge shares its affine map.  One numpy fill covers them all.
+        osc.time_of_tick(int(flat[i]))
+        seg = osc._last_hit
+        last_index = seg.start_count + seg.edge_count
+        j = int(np.searchsorted(flat[i:], last_index, side="right")) + i
+        out_flat[i:j] = (
+            seg.first_edge_fs
+            + (flat[i:j] - seg.start_count - 1) * seg.period_fs
+        )
+        i = j
+    return out
+
+
+def beacon_slots(start_slot: int, count: int, interval: int) -> np.ndarray:
+    """TX slot indices for ``count`` idle-link beacon intervals."""
+    return start_slot + interval * np.arange(count, dtype=np.int64)
+
+
+def counters_at_ticks(
+    ticks: np.ndarray, increment: int, offset: int
+) -> np.ndarray:
+    """``TickClock.counter_at`` as a grid: ``increment * ticks + offset``."""
+    return np.asarray(ticks, dtype=np.int64) * np.int64(increment) + np.int64(
+        offset
+    )
+
+
+def candidates(remote_counters: np.ndarray, d: int) -> np.ndarray:
+    """T4 candidates from a grid of received counters: ``remote + d``."""
+    return np.asarray(remote_counters, dtype=np.int64) + np.int64(d)
+
+
+def max_merge(initial: int, candidate_grid: np.ndarray) -> np.ndarray:
+    """Grid of ``lc`` values after folding each successive candidate.
+
+    ``out[k] = max(initial, candidates[0..k])`` — the offline image of
+    repeated ``adjust_to_max`` against a *quiescent* local clock (no
+    interleaved local ticks), used for jump-sequence analytics.
+    """
+    grid = np.asarray(candidate_grid, dtype=np.int64)
+    return np.maximum(np.maximum.accumulate(grid), np.int64(initial))
+
+
+def crosscheck_edge_times(
+    osc: Oscillator, ticks: np.ndarray
+) -> List[Tuple[int, int, int]]:
+    """Compare :func:`edge_times` against the scalar oracle, tick by tick.
+
+    Returns a list of ``(tick, vectorized_fs, scalar_fs)`` mismatches —
+    empty when the kernel and the oracle agree (the equivalence tests
+    assert exactly that).
+    """
+    grid = edge_times(osc, np.asarray(ticks, dtype=np.int64))
+    mismatches = []
+    for tick, got in zip(np.asarray(ticks).tolist(), grid.tolist()):
+        want = osc.time_of_tick(int(tick))
+        if want != got:
+            mismatches.append((int(tick), int(got), int(want)))
+    return mismatches

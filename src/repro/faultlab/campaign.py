@@ -40,7 +40,7 @@ from ..dtp.network import DtpNetwork
 from ..dtp.port import DtpPortConfig
 from ..experiments.parallel import ExperimentTask, derive_seed, run_named_tasks
 from ..network import topology as topo
-from ..sim.engine import Simulator
+from ..sim.engine import MacroTickSimulator, Simulator
 from ..sim.randomness import RandomStreams
 from ..telemetry import Telemetry, dump_flight, write_metrics_json, write_trace_jsonl
 from .faults import FAULT_KINDS, FaultContext, FaultModel
@@ -84,6 +84,12 @@ def build_topology(spec: Dict[str, object]) -> topo.Topology:
         elif kind == "fat-tree":
             built = topo.fat_tree(
                 int(params.pop("k")), int(params.pop("hosts_per_edge", 0))
+            )
+        elif kind == "clos":
+            built = topo.clos(
+                int(params.pop("spines")),
+                int(params.pop("leaves")),
+                int(params.pop("hosts_per_leaf", 0)),
             )
         else:
             raise CampaignError(f"unknown topology kind {kind!r}")
@@ -148,11 +154,20 @@ def run_scenario(
     metrics_dir: Optional[str] = None,
     flight_dir: Optional[str] = None,
     profile_dispatch: bool = False,
+    backend: str = "scalar",
 ) -> Dict[str, object]:
     """Run one scenario and return its (canonically JSON-able) metrics.
 
     ``sim_factory`` exists for the reference-vs-optimized equivalence
     tests, which substitute the verbatim seed engine.
+
+    ``backend="batched"`` routes healthy DTP port directions through the
+    :mod:`repro.fastpath` coordinator.  The metrics dict (and hence
+    :func:`metrics_digest`) is byte-identical either way — the result
+    deliberately records nothing about the backend; faults that mutate
+    port internals mid-run declare their nodes via
+    :meth:`~repro.faultlab.faults.FaultModel.tainted_nodes`, which pins
+    those directions to the scalar path.
 
     Telemetry is opt-in: with everything at its default the run takes the
     exact pre-telemetry code paths.  Passing any artifact directory turns a
@@ -175,6 +190,10 @@ def run_scenario(
     if telemetry is None and (trace_dir or metrics_dir or flight_dir or profile_dispatch):
         telemetry = Telemetry(profile_dispatch=profile_dispatch)
 
+    if backend not in ("scalar", "batched"):
+        raise CampaignError(f"unknown backend {backend!r}")
+    if backend == "batched" and sim_factory is Simulator:
+        sim_factory = MacroTickSimulator
     sim = sim_factory()
     if telemetry is not None:
         telemetry.attach_sim(sim)
@@ -187,12 +206,9 @@ def run_scenario(
         if skew_ppm
         else None
     )
-    network = DtpNetwork(
-        sim, topology, streams, config=config, skews=skews, telemetry=telemetry
-    )
-    checker = InvariantChecker(network, **spec.get("checker", {}))
-
-    context = FaultContext(network=network, streams=streams, checker=checker)
+    # Faults are built (not armed) before the network so their taint sets
+    # are known at promotion time; arming still happens afterwards, in
+    # spec order, and draws from name-keyed streams either way.
     faults: List[FaultModel] = []
     seen_names = set()
     for index, fault_spec in enumerate(spec.get("faults", [])):
@@ -200,8 +216,17 @@ def run_scenario(
         if fault.name in seen_names:
             raise CampaignError(f"duplicate fault name {fault.name!r}")
         seen_names.add(fault.name)
-        fault.arm(context)
         faults.append(fault)
+    tainted = frozenset().union(*(f.tainted_nodes() for f in faults)) if faults else frozenset()
+    network = DtpNetwork(
+        sim, topology, streams, config=config, skews=skews, telemetry=telemetry,
+        backend=backend, tainted_nodes=tainted,
+    )
+    checker = InvariantChecker(network, **spec.get("checker", {}))
+
+    context = FaultContext(network=network, streams=streams, checker=checker)
+    for fault in faults:
+        fault.arm(context)
 
     network.start()
 
@@ -331,6 +356,7 @@ def _scenario_task(
     metrics_dir: Optional[str] = None,
     flight_dir: Optional[str] = None,
     profile_dispatch: bool = False,
+    backend: str = "scalar",
 ) -> Dict[str, object]:
     """Module-level (hence picklable) worker for the parallel runner."""
     return run_scenario(
@@ -340,6 +366,7 @@ def _scenario_task(
         metrics_dir=metrics_dir,
         flight_dir=flight_dir,
         profile_dispatch=profile_dispatch,
+        backend=backend,
     )
 
 
@@ -350,6 +377,7 @@ def _campaign_tasks(
     metrics_dir: Optional[str],
     flight_dir: Optional[str],
     profile_dispatch: bool = False,
+    backend: str = "scalar",
 ) -> List[ExperimentTask]:
     tasks = []
     for spec in specs:
@@ -366,6 +394,7 @@ def _campaign_tasks(
                     "metrics_dir": metrics_dir,
                     "flight_dir": flight_dir,
                     "profile_dispatch": profile_dispatch,
+                    "backend": backend,
                 },
                 seed=derive_seed(base_seed, name),
             )
@@ -381,6 +410,7 @@ def run_campaign(
     metrics_dir: Optional[str] = None,
     flight_dir: Optional[str] = None,
     profile_dispatch: bool = False,
+    backend: str = "scalar",
 ) -> Dict[str, Dict[str, object]]:
     """Run many scenarios, each seeded from ``(base_seed, scenario name)``.
 
@@ -389,10 +419,12 @@ def run_campaign(
     results — and any telemetry artifacts written to the ``*_dir``
     directories — are byte-identical to the serial path.  For campaigns
     that must survive worker crashes, hangs, or a SIGKILL of the whole
-    run, use :func:`run_resilient_campaign`.
+    run, use :func:`run_resilient_campaign`.  ``backend`` selects the
+    scalar oracle or the batched fast path; results are byte-identical.
     """
     tasks = _campaign_tasks(
-        specs, base_seed, trace_dir, metrics_dir, flight_dir, profile_dispatch
+        specs, base_seed, trace_dir, metrics_dir, flight_dir, profile_dispatch,
+        backend,
     )
     return run_named_tasks(tasks, jobs=jobs)
 
@@ -407,6 +439,7 @@ def run_resilient_campaign(
     journal_path: Optional[str] = None,
     policy=None,
     profile_dispatch: bool = False,
+    backend: str = "scalar",
 ):
     """Run a campaign under the :mod:`repro.resilience` supervisor.
 
@@ -426,7 +459,8 @@ def run_resilient_campaign(
     from ..resilience import CheckpointJournal, SupervisorPolicy, run_supervised
 
     tasks = _campaign_tasks(
-        specs, base_seed, trace_dir, metrics_dir, flight_dir, profile_dispatch
+        specs, base_seed, trace_dir, metrics_dir, flight_dir, profile_dispatch,
+        backend,
     )
     if policy is None:
         policy = SupervisorPolicy(base_seed=base_seed)

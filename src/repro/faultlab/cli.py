@@ -60,6 +60,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true", help="shorter runs for smoke testing"
     )
     parser.add_argument(
+        "--backend", choices=("scalar", "batched"), default="scalar",
+        help="simulation backend; 'batched' routes healthy DTP port "
+        "directions through the repro.fastpath coordinator (output is "
+        "byte-identical to scalar, just faster)",
+    )
+    parser.add_argument(
         "-j", "--jobs", type=int, default=1, metavar="N",
         help="worker processes (0 = one per CPU; results are identical "
         "to a serial run)",
@@ -150,6 +156,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             journal_path=args.journal,
             policy=policy,
             profile_dispatch=args.profile,
+            backend=args.backend,
         )
     else:
         results = run_campaign(
@@ -160,6 +167,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             metrics_dir=args.metrics_out,
             flight_dir=args.dump_trace,
             profile_dispatch=args.profile,
+            backend=args.backend,
         )
     # stdout carries only the (digest-stable) campaign results; failure
     # reporting goes to stderr so supervised and plain runs of the same

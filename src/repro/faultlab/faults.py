@@ -72,6 +72,20 @@ class FaultModel(ABC):
         """Scalar facts about what the fault actually did (for metrics)."""
         return {}
 
+    def tainted_nodes(self) -> frozenset:
+        """Nodes whose ports this fault mutates *behind the port API*.
+
+        The batched backend (``repro.fastpath``) promotes a port direction
+        only after checking, at promotion time, that nothing irregular is
+        installed on it.  Faults that flip a port attribute mid-run —
+        after a promotion check could already have passed — must declare
+        the touched nodes here so the coordinator never promotes their
+        directions.  Faults that act through ``down_link``/``up_link`` or
+        the oscillator need not: link state changes demote explicitly, and
+        both backends read the same oscillator segments.
+        """
+        return frozenset()
+
     # Internal helpers -------------------------------------------------
     def _quarantine(self, nodes: List[str]) -> None:
         if self._ctx is not None and self._ctx.checker is not None:
@@ -262,6 +276,11 @@ class BerBurst(FaultModel):
         self.errors_injected = sum(i.errors_injected for i in self._injectors)
         return {"errors_injected": self.errors_injected}
 
+    def tainted_nodes(self) -> frozenset:
+        # _start swaps ``port.ber`` mid-run; a promoted direction would
+        # bypass the injector entirely.
+        return frozenset({self.a, self.b})
+
 
 class NodeCrash(FaultModel):
     """Crash-and-restart with counter reset.
@@ -393,6 +412,10 @@ class BeaconSuppression(FaultModel):
     def summary(self) -> Dict[str, object]:
         return {"suppressed": self.suppressed}
 
+    def tainted_nodes(self) -> frozenset:
+        # _start installs ``port.tx_allow`` mid-run.
+        return frozenset({self.node, self.peer})
+
 
 class TwoFacedNode(FaultModel):
     """A Byzantine peer that reports a lied counter toward one victim.
@@ -440,6 +463,10 @@ class TwoFacedNode(FaultModel):
 
     def summary(self) -> Dict[str, object]:
         return {"lie_ticks": self.lie_ticks}
+
+    def tainted_nodes(self) -> frozenset:
+        # _install patches ``port._tx_counter`` mid-run.
+        return frozenset({self.node, self.victim})
 
 
 class SteppedSkew(SkewModel):

@@ -102,7 +102,15 @@ class InvariantChecker:
         raise_on_violation: bool = False,
         max_recorded: int = 1000,
         start_fs: int = 0,
+        transient_allowance_intervals: int = 0,
     ) -> None:
+        """``transient_allowance_intervals`` — opt-in forgiveness for the
+        known 4T propagation transient: a pair may sit above its bound for
+        up to this many *consecutive* check ticks before a violation is
+        recorded (see docs/FAULTLAB.md, "Two readings of 4TD").  The
+        default 0 keeps the strict instantaneous reading, under which the
+        pinned ``test_known_adjacent_transient_exceeds_direct_bound``
+        counterexample is (correctly) flagged."""
         self.network = network
         if interval_fs is None:
             interval_fs = (
@@ -116,6 +124,12 @@ class InvariantChecker:
         self.grace_fs = grace_fs
         self.raise_on_violation = raise_on_violation
         self.max_recorded = max_recorded
+        if transient_allowance_intervals < 0:
+            raise ValueError("transient_allowance_intervals must be >= 0")
+        self.transient_allowance_intervals = transient_allowance_intervals
+        #: Above-bound observations forgiven under the transient allowance.
+        self.transients_forgiven = 0
+        self._above_streak: Dict[Tuple[str, str], int] = {}
 
         self.violations: List[Violation] = []
         self.counts: Dict[str, int] = {}
@@ -411,6 +425,14 @@ class InvariantChecker:
             offset = counters[a] - counters[b]
             self.pairs_checked += 1
             if abs(offset) > bound:
+                streak = self._above_streak.get((a, b), 0) + 1
+                self._above_streak[(a, b)] = streak
+                if streak <= self.transient_allowance_intervals:
+                    # Known-benign propagation transient (a gc wave arriving
+                    # at the two nodes one beacon apart): forgiven as long
+                    # as it clears within the allowance.
+                    self.transients_forgiven += 1
+                    continue
                 any_above = True
                 self._record(
                     now,
@@ -419,6 +441,7 @@ class InvariantChecker:
                     {"offset": offset, "bound": bound},
                 )
             else:
+                self._above_streak.pop((a, b), None)
                 # Wrap correctness *across* nodes: reconstructing a's low
                 # half against b's counter must recover a's exact counter
                 # whenever the pair is within bound (Section 4.4).

@@ -286,6 +286,44 @@ def fat_tree(k: int, hosts_per_edge_switch: int = 0, cable: Optional[Cable] = No
     return topo
 
 
+def clos(
+    spines: int,
+    leaves: int,
+    hosts_per_leaf: int = 0,
+    cable: Optional[Cable] = None,
+) -> Topology:
+    """A two-tier folded-Clos (leaf-spine) fabric.
+
+    Every leaf switch connects to every spine switch, and (by default)
+    ``spines`` hosts hang off each leaf.  Host-to-host distance is 2 hops
+    under the same leaf and 4 hops across leaves, so DTP's bound is 4T·4
+    fabric-wide — the modern datacenter shape between the paper's
+    two-level tree (Figure 5) and the full k-ary fat-tree.  The full
+    bipartite spine stage makes the port count scale as
+    ``2·(spines·leaves + leaves·hosts_per_leaf)`` directions, which is
+    what the batched-backend scaling scenarios lean on.
+    """
+    if spines < 1 or leaves < 1:
+        raise TopologyError("a clos fabric needs at least one spine and leaf")
+    hosts_per_leaf = hosts_per_leaf or spines
+    topo = Topology(name=f"clos-{spines}x{leaves}")
+    spine_names = [f"spine{i}" for i in range(spines)]
+    for name in spine_names:
+        topo.add_switch(name)
+    host_index = 0
+    for l in range(leaves):
+        leaf = f"leaf{l}"
+        topo.add_switch(leaf)
+        for spine in spine_names:
+            topo.add_link(leaf, spine, cable)
+        for _ in range(hosts_per_leaf):
+            host = f"h{host_index}"
+            host_index += 1
+            topo.add_host(host)
+            topo.add_link(leaf, host, cable)
+    return topo
+
+
 def to_networkx(topo: Topology):
     """Export to a networkx graph (optional dependency, used by examples)."""
     import networkx as nx

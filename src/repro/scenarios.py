@@ -21,9 +21,9 @@ from .dtp.network import DtpNetwork
 from .dtp.port import DtpPortConfig
 from .ethernet.frames import JUMBO_FRAME, MTU_FRAME
 from .ethernet.traffic import SaturatedTraffic
-from .network.topology import Topology, chain, fat_tree, paper_testbed, star
+from .network.topology import Topology, chain, clos, fat_tree, paper_testbed, star
 from .sim import units
-from .sim.engine import Simulator
+from .sim.engine import MacroTickSimulator, Simulator
 from .sim.randomness import RandomStreams
 
 
@@ -60,11 +60,12 @@ def _start_loaded(network: DtpNetwork, frame) -> None:
     )
 
 
-def _worst_case_pair(sim: Simulator, streams: RandomStreams) -> Scenario:
+def _worst_case_pair(sim: Simulator, streams: RandomStreams, backend: str) -> Scenario:
     topology = chain(2)
     network = DtpNetwork(
         sim, topology, streams,
         skews={"n0": ConstantSkew(100.0), "n1": ConstantSkew(-100.0)},
+        backend=backend,
     )
     network.start()
     return Scenario(
@@ -75,9 +76,9 @@ def _worst_case_pair(sim: Simulator, streams: RandomStreams) -> Scenario:
     )
 
 
-def _paper_testbed_idle(sim: Simulator, streams: RandomStreams) -> Scenario:
+def _paper_testbed_idle(sim: Simulator, streams: RandomStreams, backend: str) -> Scenario:
     topology = paper_testbed()
-    network = DtpNetwork(sim, topology, streams)
+    network = DtpNetwork(sim, topology, streams, backend=backend)
     network.start()
     return Scenario(
         name="paper-testbed-idle",
@@ -87,9 +88,9 @@ def _paper_testbed_idle(sim: Simulator, streams: RandomStreams) -> Scenario:
     )
 
 
-def _paper_testbed_loaded(sim: Simulator, streams: RandomStreams) -> Scenario:
+def _paper_testbed_loaded(sim: Simulator, streams: RandomStreams, backend: str) -> Scenario:
     topology = paper_testbed()
-    network = DtpNetwork(sim, topology, streams)
+    network = DtpNetwork(sim, topology, streams, backend=backend)
     _start_loaded(network, MTU_FRAME)
     return Scenario(
         name="paper-testbed-loaded",
@@ -99,9 +100,9 @@ def _paper_testbed_loaded(sim: Simulator, streams: RandomStreams) -> Scenario:
     )
 
 
-def _fat_tree_loaded(sim: Simulator, streams: RandomStreams) -> Scenario:
+def _fat_tree_loaded(sim: Simulator, streams: RandomStreams, backend: str) -> Scenario:
     topology = fat_tree(4, hosts_per_edge_switch=1)
-    network = DtpNetwork(sim, topology, streams)
+    network = DtpNetwork(sim, topology, streams, backend=backend)
     _start_loaded(network, JUMBO_FRAME)
     return Scenario(
         name="fat-tree-loaded",
@@ -111,11 +112,12 @@ def _fat_tree_loaded(sim: Simulator, streams: RandomStreams) -> Scenario:
     )
 
 
-def _rack(sim: Simulator, streams: RandomStreams) -> Scenario:
+def _rack(sim: Simulator, streams: RandomStreams, backend: str) -> Scenario:
     topology = star(8)
     network = DtpNetwork(
         sim, topology, streams,
         config=DtpPortConfig(beacon_interval_ticks=1200),
+        backend=backend,
     )
     network.start()
     return Scenario(
@@ -126,23 +128,44 @@ def _rack(sim: Simulator, streams: RandomStreams) -> Scenario:
     )
 
 
-SCENARIOS: Dict[str, Callable[[Simulator, RandomStreams], Scenario]] = {
+def _clos_fabric(sim: Simulator, streams: RandomStreams, backend: str) -> Scenario:
+    topology = clos(4, 8)
+    network = DtpNetwork(sim, topology, streams, backend=backend)
+    network.start()
+    return Scenario(
+        name="clos-fabric",
+        sim=sim, streams=streams, topology=topology, dtp=network,
+        offset_bound_ticks=4 * topology.diameter_hops(),
+        description="4-spine, 8-leaf folded Clos, 44 devices / 128 port "
+        "directions — the batched-backend scaling workload",
+    )
+
+
+SCENARIOS: Dict[str, Callable[[Simulator, RandomStreams, str], Scenario]] = {
     "worst-case-pair": _worst_case_pair,
     "paper-testbed-idle": _paper_testbed_idle,
     "paper-testbed-loaded": _paper_testbed_loaded,
     "fat-tree-loaded": _fat_tree_loaded,
     "rack": _rack,
+    "clos-fabric": _clos_fabric,
 }
 
 
-def build(name: str, seed: int = 0) -> Scenario:
-    """Instantiate a named scenario with its own simulator and seed."""
+def build(name: str, seed: int = 0, backend: str = "scalar") -> Scenario:
+    """Instantiate a named scenario with its own simulator and seed.
+
+    ``backend="batched"`` builds the scenario on a
+    :class:`~repro.sim.engine.MacroTickSimulator` with the
+    :mod:`repro.fastpath` coordinator attached; every measurement is
+    byte-identical to the scalar backend, steady-state intervals just
+    cost less wall clock.
+    """
     try:
         factory = SCENARIOS[name]
     except KeyError:
         raise KeyError(
             f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
         ) from None
-    sim = Simulator()
+    sim = MacroTickSimulator() if backend == "batched" else Simulator()
     streams = RandomStreams(seed)
-    return factory(sim, streams)
+    return factory(sim, streams, backend)

@@ -239,3 +239,81 @@ class Simulator:
             if max_events is not None and count >= max_events:
                 break
         return count
+
+    def take_seq(self) -> int:
+        """Allocate (and consume) the next event sequence number.
+
+        External co-simulators (see :class:`MacroTickSimulator`) use this to
+        give their virtual events sequence numbers from the *same* counter
+        heap events draw from, so a merged ``(time, seq)`` order is a total
+        order identical to the one a pure heap run would produce.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+
+class MacroTickSimulator(Simulator):
+    """A :class:`Simulator` that can merge an external virtual-event source.
+
+    The source (``repro.fastpath.FastpathCoordinator``) maintains its own
+    queue of *virtual* events — batched DTP port work that never touches the
+    engine heap.  ``run_until`` interleaves the two queues by ``(time, seq)``;
+    because the source draws its sequence numbers from :meth:`take_seq` at
+    exactly the points the scalar implementation would have scheduled real
+    events, the merged order is bit-identical to a scalar run.
+
+    With no source attached this class is exactly :class:`Simulator` (it
+    falls through to the inherited loops), so nothing slows down if a
+    batched backend is requested but nothing promotes.
+
+    The *macro-tick fast-forward* falls out of the merge: across a window
+    where the heap holds no event, the loop leaps directly from virtual
+    event to virtual event and the heap is never consulted beyond one peek.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: External virtual-event source: any object with ``next_key()``
+        #: (returns ``(time_fs, seq)`` or None) and ``dispatch_next()``.
+        self.fastpath: Optional[Any] = None
+
+    def attach_fastpath(self, source: Any) -> None:
+        if self.fastpath is not None and self.fastpath is not source:
+            raise SimulationError("a fastpath source is already attached")
+        self.fastpath = source
+
+    def step(self) -> bool:
+        source = self.fastpath
+        if source is None:
+            return super().step()
+        vkey = source.next_key()
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[4].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_in_queue -= 1
+                continue
+            if vkey is not None and vkey < (entry[0], entry[1]):
+                break
+            heapq.heappop(queue)
+            self._pending -= 1
+            self._now = entry[0]
+            if self.profile is not None:
+                self.profile.count(entry[2])
+            entry[2](*entry[3])
+            return True
+        if vkey is None:
+            return False
+        self._now = vkey[0]
+        source.dispatch_next()
+        return True
+
+    def run_until(self, time_fs: int) -> None:
+        source = self.fastpath
+        if source is None:
+            return super().run_until(time_fs)
+        # The merged loop lives on the coordinator, which owns the virtual
+        # heap and inlines the batched stage bodies around it.
+        source.run_merged(time_fs)

@@ -1,0 +1,72 @@
+"""The ``repro bench`` subcommand: dispatch, discovery, file plumbing.
+
+The measurements themselves are exercised (with real guards) by
+``benchmarks/test_perf_core.py``; here the timed collection is stubbed so
+the CLI contract — seed-core auto-discovery, atomic rewrite of
+``BENCH_core.json``, ``--dry-run`` / ``--out`` — stays cheap to verify.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.bench as bench
+from repro.cli import main as repro_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_find_seed_core_walks_up_from_repo():
+    found = bench.find_seed_core(REPO_ROOT / "src" / "repro")
+    assert found == REPO_ROOT / "benchmarks" / "_seed_core.py"
+
+
+def test_find_seed_core_misses_outside_repo(tmp_path):
+    assert bench.find_seed_core(tmp_path) is None
+
+
+def test_load_seed_core_imports_module():
+    module = bench.load_seed_core(REPO_ROOT / "benchmarks" / "_seed_core.py")
+    assert hasattr(module, "SeedSimulator")
+    assert hasattr(module, "seed_implementation")
+
+
+@pytest.fixture
+def stub_collect(monkeypatch):
+    calls = {}
+
+    def fake_collect(repeats, seed_core=None):
+        calls["repeats"] = repeats
+        calls["seed_core"] = seed_core
+        return {"engine": {"events_per_sec": 1}}
+
+    monkeypatch.setattr(bench, "collect", fake_collect)
+    return calls
+
+
+def test_bench_writes_out_path(stub_collect, tmp_path, capsys):
+    out = tmp_path / "BENCH.json"
+    rc = repro_main(["bench", "--out", str(out), "--repeats", "2"])
+    assert rc == 0
+    assert stub_collect["repeats"] == 2
+    assert json.loads(out.read_text()) == {"engine": {"events_per_sec": 1}}
+    # The measurements also go to stdout.
+    assert '"events_per_sec": 1' in capsys.readouterr().out
+
+
+def test_bench_dry_run_writes_nothing(stub_collect, tmp_path):
+    out = tmp_path / "BENCH.json"
+    rc = repro_main(["bench", "--out", str(out), "--dry-run"])
+    assert rc == 0
+    assert not out.exists()
+
+
+def test_bench_no_seed_skips_seed_core(stub_collect, tmp_path):
+    repro_main(["bench", "--no-seed", "--dry-run"])
+    assert stub_collect["seed_core"] is None
+
+
+def test_bench_rejects_zero_repeats(stub_collect):
+    with pytest.raises(SystemExit):
+        repro_main(["bench", "--repeats", "0"])
