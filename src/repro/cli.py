@@ -5,7 +5,8 @@
 (:mod:`repro.telemetry.cli`), ``repro resilience ...`` to the
 checkpoint-journal / failure-report inspector
 (:mod:`repro.resilience.cli`), ``repro insight ...`` to the trace
-analytics CLI (:mod:`repro.insight.cli`), ``repro bench`` to the core
+analytics CLI (:mod:`repro.insight.cli`), ``repro racelab ...`` to the
+discipline race lab (:mod:`repro.discipline.cli`), ``repro bench`` to the core
 performance benchmarks (:mod:`repro.bench`, rewriting ``BENCH_core.json``);
 anything else goes to the experiment driver (:mod:`repro.experiments.cli`),
 so ``repro fig6a --quick`` keeps working exactly like
@@ -38,6 +39,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .insight.cli import main as insight_main
 
         return insight_main(argv[1:])
+    if argv and argv[0] == "racelab":
+        from .discipline.cli import main as racelab_main
+
+        return racelab_main(argv[1:])
     if argv and argv[0] == "bench":
         from .bench import main as bench_main
 

@@ -1,0 +1,58 @@
+"""repro.discipline: pluggable clock-discipline controllers and the racelab.
+
+The paper's evaluation hard-wires one controller per protocol: PTP slaves
+run the PI servo in :mod:`repro.ptp.servo`, NTP clients reuse it with
+softer gains, and the DTP daemon (:mod:`repro.dtp.daemon`) re-anchors an
+interpolation on every PCIe read.  This package extracts the common shape
+of all three — *observe a noisy offset sample, emit a correction* — into a
+:class:`~repro.discipline.base.Discipline` interface, re-hosts the existing
+controllers behind it, and adds two competitors from the literature:
+
+* :class:`~repro.discipline.skewless.SkewlessDiscipline` — Mallada et
+  al.'s continuous-rate controller (arXiv:1208.5703): no phase steps ever,
+  with a provable gain-stability region documented in the module;
+* :class:`~repro.discipline.congestion.CongestionAssistedDiscipline` —
+  a congestion-marking-assisted PI (after Deshpande et al.): queue
+  occupancy marks identify delay-inflated samples, which are debiased by
+  the excess over the delay floor and down-weighted.
+
+:mod:`repro.discipline.racelab` races any set of disciplines head-to-head
+over identical faultlab scenarios — same seeds, same fault streams, same
+telemetry rings — and renders a deterministic report ranking them per
+scenario on max offset, convergence time, and time above a bound.  See
+``docs/DISCIPLINE.md`` for the interface contract and a CLI walkthrough.
+"""
+
+from __future__ import annotations
+
+from .base import (  # noqa: F401
+    DISCIPLINE_KINDS,
+    Discipline,
+    DisciplineAction,
+    DisciplineError,
+    Observation,
+    build_discipline,
+)
+
+#: Lazily re-exported implementation classes.  The implementations import
+#: the hosts they extract from (``classic`` pulls in :mod:`repro.ptp`,
+#: whose slave imports this package right back), so eager imports here
+#: would be circular; anything that goes through :func:`build_discipline`
+#: loads them on demand anyway.
+_LAZY = {
+    "DaemonDiscipline": "classic",
+    "PiServoDiscipline": "classic",
+    "CongestionAssistedDiscipline": "congestion",
+    "SkewlessDiscipline": "skewless",
+    "stable_gains": "skewless",
+    "closed_loop_poles": "skewless",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

@@ -1,0 +1,146 @@
+"""The common clock-discipline interface.
+
+A :class:`Discipline` is the loop body every software clock controller in
+this repo shares: it *observes* one noisy offset measurement and returns
+the correction to apply.  The shape is extracted from three pre-existing
+implementations —
+
+* the PTP PI servo (:class:`repro.ptp.servo.PiServo`), whose
+  ``ServoAction`` this module's :class:`DisciplineAction` generalizes,
+* the NTP client loop (:class:`repro.ntp.protocol.NtpClient`), which
+  reuses the servo with softer gains behind a popcorn filter,
+* the DTP daemon (:class:`repro.dtp.daemon.DtpDaemon`), whose
+  anchor-plus-rate interpolation is a *step-on-every-sample* controller —
+
+so alternative controllers (skewless, congestion-assisted, ...) can race
+on exactly the same observation stream.  See ``docs/DISCIPLINE.md`` for
+the full contract.
+
+Contract highlights:
+
+* :meth:`Discipline.observe` must be deterministic: same observation
+  sequence in, same action sequence out.  Disciplines hold no randomness.
+* :meth:`Discipline.snapshot` returns **integers and strings only** so a
+  race result's canonical-JSON digest is byte-stable across platforms
+  (floats are scaled to parts-per-billion or femtoseconds and rounded).
+* A discipline never touches the clock itself; the harness applies the
+  returned action.  This is what lets the racelab guarantee that the
+  simulated network under test is byte-identical whichever discipline —
+  or none — is watching it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: ``DisciplineAction.kind`` values.
+ACTION_STEP = "step"
+ACTION_SLEW = "slew"
+ACTION_HOLD = "hold"
+
+
+class DisciplineError(ValueError):
+    """A discipline spec is malformed."""
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One offset measurement handed to a discipline.
+
+    ``offset_fs`` is the measured (disciplined clock − reference) offset
+    in femtoseconds, **including** whatever path noise the measurement
+    picked up.  ``delay_fs`` is the measured read/path delay of this
+    sample and ``queue_frac`` the egress-queue occupancy (0..1) observed
+    on the measurement path — the congestion-marking signal; both are 0
+    for callers that have no such side channel.
+    """
+
+    time_fs: int
+    offset_fs: float
+    interval_fs: int
+    delay_fs: float = 0.0
+    queue_frac: float = 0.0
+
+
+@dataclass(frozen=True)
+class DisciplineAction:
+    """What to apply to the disciplined clock for one observation.
+
+    ``kind`` is the dominant verb (:data:`ACTION_STEP`,
+    :data:`ACTION_SLEW` or :data:`ACTION_HOLD`).  ``step_fs`` is a phase
+    correction (positive = advance the clock), applied first;
+    ``freq_adj`` — when not ``None`` — is the *new* fractional frequency
+    correction (1e-6 = 1 ppm), replacing the previous one.  A step action
+    may also carry a frequency update (the daemon re-anchors phase *and*
+    refreshes its rate on every read); a pure PI slew carries only
+    ``freq_adj``.
+    """
+
+    kind: str
+    step_fs: float = 0.0
+    freq_adj: Optional[float] = None
+    offset_fs: float = 0.0
+
+
+class Discipline(ABC):
+    """One clock controller.  Construct from plain scalars, then observe."""
+
+    #: Stable spec identifier; :data:`DISCIPLINE_KINDS` maps it to the class.
+    kind = "abstract"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or self.kind
+        self.observations = 0
+
+    @abstractmethod
+    def observe(self, obs: Observation) -> DisciplineAction:
+        """Digest one measurement and return the correction to apply."""
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic controller state: ints and strings only."""
+        return {"kind": self.kind, "observations": self.observations}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def build_discipline(spec) -> Discipline:
+    """Build a discipline from ``"name"`` or ``{"kind": ..., <params>}``.
+
+    String specs select a registered kind with default parameters; dict
+    specs pass every other key to the constructor (so racelab campaign
+    specs stay JSON-serializable, like fault specs).
+    """
+    _ensure_registered()
+    if isinstance(spec, str):
+        spec = {"kind": spec}
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    cls = DISCIPLINE_KINDS.get(kind)
+    if cls is None:
+        raise DisciplineError(
+            f"unknown discipline kind {kind!r}; known: {sorted(DISCIPLINE_KINDS)}"
+        )
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise DisciplineError(f"bad parameters for {kind!r}: {exc}") from exc
+
+
+#: Spec ``kind`` -> discipline class.  Populated by the implementation
+#: modules at import time; :func:`build_discipline` imports them on
+#: first use (they cannot be imported here — ``classic`` pulls in the
+#: PTP slave, which imports this package right back).
+DISCIPLINE_KINDS: Dict[str, type] = {}
+
+
+def _ensure_registered() -> None:
+    from . import classic, congestion, skewless  # noqa: F401
+
+
+def register(cls: type) -> type:
+    """Class decorator: add a Discipline subclass to the registry."""
+    DISCIPLINE_KINDS[cls.kind] = cls
+    return cls

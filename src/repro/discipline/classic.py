@@ -1,0 +1,144 @@
+"""The two incumbent controllers, re-hosted behind :class:`Discipline`.
+
+Neither re-implements anything: :class:`PiServoDiscipline` *wraps* the
+unchanged :class:`repro.ptp.servo.PiServo` (so PTP slaves and NTP clients
+that route through it stay byte-identical), and :class:`DaemonDiscipline`
+runs the DTP daemon's anchor-plus-rate interpolation via the shared
+:mod:`repro.discipline.interp` primitives in the offset domain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..ptp.servo import PiServo
+from ..sim import units
+from .base import (
+    ACTION_SLEW,
+    ACTION_STEP,
+    Discipline,
+    DisciplineAction,
+    Observation,
+    register,
+)
+from .interp import endpoint_rate, extrapolate, windowed_anchor
+
+
+@register
+class PiServoDiscipline(Discipline):
+    """The linuxptp-style PI servo (:class:`repro.ptp.servo.PiServo`).
+
+    Steps on gross error (first sample, or past the panic threshold),
+    otherwise slews the frequency.  All parameters forward to
+    :class:`PiServo` unchanged; the wrapped servo is exposed as
+    ``self.servo`` so existing callers (PTP slave, NTP client) keep their
+    byte-exact behavior and counters.  Pass ``servo`` to wrap an
+    already-configured :class:`PiServo` instead (the other parameters
+    are then ignored).
+    """
+
+    kind = "pi"
+
+    def __init__(
+        self,
+        kp: float = 0.7,
+        ki: float = 0.3,
+        step_threshold_fs: float = 10 * units.US,
+        panic_threshold_fs: float = 10 * units.MS,
+        max_freq_adj: float = 500e-6,
+        allow_first_step: bool = True,
+        servo: Optional[PiServo] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        self.servo = servo or PiServo(
+            kp=kp,
+            ki=ki,
+            step_threshold_fs=step_threshold_fs,
+            panic_threshold_fs=panic_threshold_fs,
+            max_freq_adj=max_freq_adj,
+            allow_first_step=allow_first_step,
+        )
+
+    def observe(self, obs: Observation) -> DisciplineAction:
+        self.observations += 1
+        action = self.servo.sample(obs.offset_fs, max(obs.interval_fs, 1))
+        if action.kind == "step":
+            return DisciplineAction(
+                kind=ACTION_STEP, step_fs=action.value, offset_fs=obs.offset_fs
+            )
+        return DisciplineAction(
+            kind=ACTION_SLEW, freq_adj=action.value, offset_fs=obs.offset_fs
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        snap = super().snapshot()
+        snap.update(
+            steps=self.servo.steps,
+            slews=self.servo.slews,
+            integral_ppb=round(self.servo._integral * 1e9),
+        )
+        return snap
+
+
+@register
+class DaemonDiscipline(Discipline):
+    """DTP-daemon style interpolation, operating on offsets.
+
+    The daemon never slews an oscillator — it *re-derives* time on every
+    read: rate from the endpoints of the sample history, anchor from the
+    mean of the last ``smoothing_window`` samples, extrapolated to "now"
+    (:mod:`repro.discipline.interp`, extracted verbatim from
+    ``DtpDaemon``).  Expressed as a discipline, every observation yields a
+    phase step to the extrapolated offset plus a frequency update to the
+    estimated drift rate — the "step on every sample" end of the
+    controller spectrum, whose error is whatever the anchor smoothing
+    fails to remove (paper Figure 7a vs 7b).
+    """
+
+    kind = "daemon"
+
+    def __init__(
+        self,
+        history: int = 64,
+        smoothing_window: int = 8,
+        max_freq_adj: float = 500e-6,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        self.smoothing_window = max(1, smoothing_window)
+        self.max_freq_adj = max_freq_adj
+        self._samples: Deque[Tuple[int, float]] = deque(maxlen=history)
+        self._rate = 0.0  # offset drift, fs per fs (fractional frequency)
+        self.steps = 0
+
+    def observe(self, obs: Observation) -> DisciplineAction:
+        self.observations += 1
+        self._samples.append((obs.time_fs, obs.offset_fs))
+        first_t, first_o = self._samples[0]
+        last_t, last_o = self._samples[-1]
+        rate = endpoint_rate(first_t, first_o, last_t, last_o)
+        if rate is not None:
+            self._rate = rate
+        xs = [t for t, _ in self._samples]
+        ys = [o for _, o in self._samples]
+        anchor_t, anchor_o = windowed_anchor(xs, ys, self.smoothing_window)
+        predicted = extrapolate(anchor_t, anchor_o, self._rate, obs.time_fs)
+        freq = max(-self.max_freq_adj, min(self.max_freq_adj, -self._rate))
+        self.steps += 1
+        return DisciplineAction(
+            kind=ACTION_STEP,
+            step_fs=-predicted,
+            freq_adj=freq,
+            offset_fs=obs.offset_fs,
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        snap = super().snapshot()
+        snap.update(
+            steps=self.steps,
+            history=len(self._samples),
+            rate_ppb=round(self._rate * 1e9),
+        )
+        return snap

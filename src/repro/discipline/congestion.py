@@ -1,0 +1,112 @@
+"""Congestion-marking-assisted clock discipline.
+
+Queueing only ever *adds* delay, so a measurement taken while the egress
+queue is hot carries a positive offset bias the servo would otherwise
+chase.  Following the congestion-assisted synchronization line of work
+(Deshpande et al., see PAPERS.md), this controller consumes a queue
+occupancy signal alongside each sample — in this repo, ``bytes_queued /
+capacity`` from :class:`repro.network.queues.ByteFifo` — and uses it two
+ways:
+
+* **Debias**: when the occupancy exceeds ``mark_threshold``, the excess
+  of the measured path delay over the windowed delay floor
+  (:class:`repro.ptp.servo.DelayFilter` — the classic min-filter) is
+  subtracted from the offset before it reaches the PI core, since a
+  marked sample's inflation is almost surely queueing.
+* **Down-weight**: the PI gains are scaled by ``1 / (1 + discount *
+  queue_frac)``, so marked samples steer the loop less.
+
+With an idle queue the controller degenerates to a plain PI servo in its
+slew regime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ptp.servo import DelayFilter
+from ..sim import units
+from .base import (
+    ACTION_SLEW,
+    ACTION_STEP,
+    Discipline,
+    DisciplineAction,
+    Observation,
+    register,
+)
+
+
+@register
+class CongestionAssistedDiscipline(Discipline):
+    """PI core with marking-driven debias and down-weighting."""
+
+    kind = "congestion"
+
+    def __init__(
+        self,
+        kp: float = 0.7,
+        ki: float = 0.3,
+        mark_threshold: float = 0.2,
+        discount: float = 4.0,
+        delay_window: int = 16,
+        step_threshold_fs: float = 10 * units.US,
+        max_freq_adj: float = 500e-6,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        self.kp = kp
+        self.ki = ki
+        self.mark_threshold = mark_threshold
+        self.discount = discount
+        self.delay_filter = DelayFilter(window=delay_window)
+        self.step_threshold_fs = step_threshold_fs
+        self.max_freq_adj = max_freq_adj
+        self._integral = 0.0
+        self._synced_once = False
+        self.steps = 0
+        self.slews = 0
+        self.marked = 0
+
+    def observe(self, obs: Observation) -> DisciplineAction:
+        self.observations += 1
+        interval = max(obs.interval_fs, 1)
+        floor = self.delay_filter.update(obs.delay_fs)
+        offset = obs.offset_fs
+        weight = 1.0
+        if obs.queue_frac >= self.mark_threshold:
+            self.marked += 1
+            excess = obs.delay_fs - floor
+            if excess > 0:
+                # Queueing inflates the one-way delay, which shows up as a
+                # positive measured offset on this path orientation.
+                offset -= excess
+            weight = 1.0 / (1.0 + self.discount * obs.queue_frac)
+        first = not self._synced_once
+        self._synced_once = True
+        if first and abs(offset) > self.step_threshold_fs:
+            self.steps += 1
+            self._integral = 0.0
+            return DisciplineAction(
+                kind=ACTION_STEP, step_fs=-offset, offset_fs=obs.offset_fs
+            )
+        self.slews += 1
+        rate_error = offset / interval
+        self._integral += self.ki * weight * rate_error
+        self._integral = max(
+            -self.max_freq_adj, min(self.max_freq_adj, self._integral)
+        )
+        adj = -(self.kp * weight * rate_error + self._integral)
+        adj = max(-self.max_freq_adj, min(self.max_freq_adj, adj))
+        return DisciplineAction(
+            kind=ACTION_SLEW, freq_adj=adj, offset_fs=obs.offset_fs
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        snap = super().snapshot()
+        snap.update(
+            steps=self.steps,
+            slews=self.slews,
+            marked=self.marked,
+            integral_ppb=round(self._integral * 1e9),
+        )
+        return snap

@@ -1,0 +1,54 @@
+"""Anchor-and-rate interpolation primitives (extracted from the DTP daemon).
+
+The daemon's ``get_DTP_counter`` trick is two estimates glued together: a
+*rate* from the endpoints of the sample history and an *anchor* from the
+mean of the last few samples, extrapolated to the query point.  The same
+math, in the offset domain, is the re-hosted
+:class:`~repro.discipline.classic.DaemonDiscipline`; keeping it here — a
+leaf module with no repro imports — lets :mod:`repro.dtp.daemon` delegate
+to it without an import cycle, and pins both users to byte-identical
+float arithmetic (same operations, same order).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+def endpoint_rate(
+    first_x: float, first_y: float, last_x: float, last_y: float
+) -> Optional[float]:
+    """Slope ``dy/dx`` between the history endpoints.
+
+    Returns ``None`` when ``last_x`` does not advance past ``first_x`` —
+    the caller keeps its previous estimate, exactly as the daemon's
+    ``_update_ratio`` does when the TSC span is empty.
+    """
+    dx = last_x - first_x
+    if dx <= 0:
+        return None
+    return (last_y - first_y) / dx
+
+
+def windowed_anchor(
+    xs: Sequence[float], ys: Sequence[float], window: int
+) -> Tuple[float, float]:
+    """Mean ``(x, y)`` of the trailing ``window`` samples.
+
+    ``window`` is clamped to the history length; with ``window == 1`` the
+    anchor is the raw latest sample (the daemon's Figure 7a mode), larger
+    windows suppress read spikes (Figure 7b).
+    """
+    if not xs or len(xs) != len(ys):
+        raise ValueError("need equal, non-empty sample sequences")
+    window = max(1, min(window, len(xs)))
+    recent_x = xs[len(xs) - window:]
+    recent_y = ys[len(ys) - window:]
+    return sum(recent_x) / window, sum(recent_y) / window
+
+
+def extrapolate(
+    anchor_x: float, anchor_y: float, rate: float, x: float
+) -> float:
+    """``anchor_y + (x - anchor_x) * rate`` — the interpolation read."""
+    return anchor_y + (x - anchor_x) * rate

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 from ..clocks.tsc import TscCounter
+from ..discipline.interp import endpoint_rate, extrapolate, windowed_anchor
 from ..sim import units
 from ..sim.engine import Simulator
 from .device import DtpDevice
@@ -48,12 +49,21 @@ class PcieModel:
 
 @dataclass
 class DaemonSample:
-    """One PCIe read: the paired (TSC stamp, DTP counter) observation."""
+    """One PCIe read: the paired (TSC stamp, DTP counter) observation.
+
+    ``time_fs`` is the sample's simulated-clock timestamp — the midpoint
+    of issue and completion, i.e. the instant the TSC anchor estimates.
+    It exists so samples carry an explicit common timebase instead of
+    relying on their position in the history deque: clock disciplines
+    compared across protocols (see :mod:`repro.discipline`) need sample
+    times, not sample indices.
+    """
 
     tsc: int
     counter: int
     issued_fs: int
     completed_fs: int
+    time_fs: int = 0
 
 
 class DtpDaemon:
@@ -123,6 +133,7 @@ class DtpDaemon:
             counter=counter,
             issued_fs=issued_fs,
             completed_fs=completed_fs,
+            time_fs=(issued_fs + completed_fs) // 2,
         )
         self.samples.append(sample)
         self.reads += 1
@@ -131,15 +142,19 @@ class DtpDaemon:
             self.sim.schedule(self.sample_interval_fs, self._read_once)
 
     def _update_ratio(self) -> None:
-        """Refresh the DTP-per-TSC frequency ratio from the sample history."""
+        """Refresh the DTP-per-TSC frequency ratio from the sample history.
+
+        Delegates to :func:`repro.discipline.interp.endpoint_rate`, the
+        extracted daemon math (same float operations in the same order,
+        pinned byte-identical by the discipline equivalence tests).
+        """
         if len(self.samples) < 2:
             return
         first = self.samples[0]
         last = self.samples[-1]
-        dtsc = last.tsc - first.tsc
-        if dtsc <= 0:
-            return
-        self._ratio = (last.counter - first.counter) / dtsc
+        ratio = endpoint_rate(first.tsc, first.counter, last.tsc, last.counter)
+        if ratio is not None:
+            self._ratio = ratio
 
     # ------------------------------------------------------------------
     # The get_DTP_counter API (paper Section 5.1)
@@ -153,12 +168,13 @@ class DtpDaemon:
         """
         if not self.samples:
             raise RuntimeError("daemon has no samples yet; call start() and run")
-        window = min(self.smoothing_window, len(self.samples))
-        recent = list(self.samples)[-window:]
-        anchor_tsc = sum(s.tsc for s in recent) / window
-        anchor_counter = sum(s.counter for s in recent) / window
+        anchor_tsc, anchor_counter = windowed_anchor(
+            [s.tsc for s in self.samples],
+            [s.counter for s in self.samples],
+            self.smoothing_window,
+        )
         tsc_now = self.tsc.rdtsc(t_fs)
-        return round(anchor_counter + (tsc_now - anchor_tsc) * self._ratio)
+        return round(extrapolate(anchor_tsc, anchor_counter, self._ratio, tsc_now))
 
     def estimated_frequency_ratio(self) -> float:
         return self._ratio

@@ -305,6 +305,11 @@ def main(argv: List[str] = None) -> int:
         from ..insight.cli import main as insight_main
 
         return insight_main(list(argv[1:]))
+    if argv and argv[0] == "racelab":
+        # Same delegation for the discipline race lab.
+        from ..discipline.cli import main as racelab_main
+
+        return racelab_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="dtp-repro",
         description="Regenerate the tables and figures of the DTP paper.",

@@ -155,6 +155,7 @@ def run_scenario(
     flight_dir: Optional[str] = None,
     profile_dispatch: bool = False,
     backend: str = "scalar",
+    observers: Optional[List[Callable[..., object]]] = None,
 ) -> Dict[str, object]:
     """Run one scenario and return its (canonically JSON-able) metrics.
 
@@ -176,6 +177,17 @@ def run_scenario(
     ``<scenario>.prom`` / ``<scenario>.flight.jsonl``.  The flight artifact
     is written whenever the invariant checker recorded or raised a
     violation (on a raise the artifact is written before re-raising).
+
+    ``observers`` are callables attached after :meth:`DtpNetwork.start`
+    with keyword arguments ``(sim, network, streams, checker, telemetry,
+    duration_fs)``.  They may schedule their own events and draw from
+    *new* name-keyed random streams, which — by the
+    :class:`~repro.sim.randomness.RandomStreams` contract — leaves every
+    existing stream, and therefore the scenario's behavior and metrics,
+    byte-identical to an observer-free run (the racelab's fairness
+    guarantee; pinned by the discipline equivalence tests).  Observers
+    require the scalar backend: the batched fast path replays the scalar
+    engine's event-sequence allocation, which observer events would skew.
     """
     unknown = set(spec) - _SPEC_KEYS
     if unknown:
@@ -192,6 +204,8 @@ def run_scenario(
 
     if backend not in ("scalar", "batched"):
         raise CampaignError(f"unknown backend {backend!r}")
+    if observers and backend != "scalar":
+        raise CampaignError("observers require the scalar backend")
     if backend == "batched" and sim_factory is Simulator:
         sim_factory = MacroTickSimulator
     sim = sim_factory()
@@ -229,6 +243,16 @@ def run_scenario(
         fault.arm(context)
 
     network.start()
+
+    for observer in observers or ():
+        observer(
+            sim=sim,
+            network=network,
+            streams=streams,
+            checker=checker,
+            telemetry=telemetry,
+            duration_fs=duration_fs,
+        )
 
     sample_interval_fs = int(
         spec.get("sample_interval_fs", checker.interval_fs * 4)

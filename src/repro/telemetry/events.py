@@ -54,6 +54,13 @@ EV_QUARANTINE = 12
 EV_RELEASE = 13
 #: BoundMonitor alarm.  subject = link, a = offset ticks, b = bound ticks.
 EV_ALARM = 14
+#: Racelab discipline ingested one measurement.  subject = ``race/<node>``,
+#: a = measured offset (fs, signed), b = measured read delay (fs).
+EV_DISC_OBSERVE = 15
+#: Racelab discipline emitted a correction.  a = action code
+#: (:data:`DISC_ACTION_CODES`), b = step size (fs) for steps, new
+#: frequency adjustment (ppb) otherwise.
+EV_DISC_ACTION = 16
 
 KIND_NAMES: Dict[int, str] = {
     EV_PORT_STATE: "port-state",
@@ -70,6 +77,8 @@ KIND_NAMES: Dict[int, str] = {
     EV_QUARANTINE: "fault-inject",
     EV_RELEASE: "fault-recover",
     EV_ALARM: "monitor-alarm",
+    EV_DISC_OBSERVE: "discipline-observe",
+    EV_DISC_ACTION: "discipline-action",
 }
 
 #: ``EV_PORT_STATE`` argument ``a``: the port FSM state.
@@ -90,6 +99,9 @@ LOST_HEADER = 2
 REJECT_RANGE = 1
 REJECT_PARITY = 2
 REJECT_UNDECODABLE = 3
+
+#: ``EV_DISC_ACTION`` argument ``a``: the correction kind.
+DISC_ACTION_CODES: Dict[str, int] = {"step": 1, "slew": 2, "hold": 3}
 
 
 #: The reference schema: ``{code: (subject, a, b)}`` — what each field of
@@ -167,6 +179,16 @@ EVENT_SCHEMA: Dict[int, Tuple[str, str, str]] = {
         "monitored link",
         "observed offset, ticks",
         "configured bound, ticks",
+    ),
+    EV_DISC_OBSERVE: (
+        "raced clock (race/<node>)",
+        "measured offset, fs (signed)",
+        "measured read delay, fs",
+    ),
+    EV_DISC_ACTION: (
+        "raced clock (race/<node>)",
+        "action code: step=1 / slew=2 / hold=3",
+        "step size (fs) for steps, new frequency adjustment (ppb) otherwise",
     ),
 }
 

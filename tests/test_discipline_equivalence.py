@@ -1,0 +1,140 @@
+"""The re-host is byte-identical: wrapping a controller changes nothing.
+
+Three equivalence pins, one per re-hosted controller:
+
+1. :class:`PiServoDiscipline` emits exactly the action sequence of the
+   bare :class:`PiServo` on any input stream (it *wraps* the servo);
+2. :class:`DtpDaemon`'s interpolation — now delegated to
+   :mod:`repro.discipline.interp` — reproduces the pre-refactor math
+   bit-for-bit (same float op order);
+3. attaching a :class:`RaceObserver` to any of the nine builtin
+   scenarios leaves the scenario's own metrics digest untouched — the
+   observer only reads network state and draws from new ``racelab/*``
+   streams, so by the name-keyed stream contract the simulated network
+   is byte-identical whether or not a race is watching.
+"""
+
+import random
+
+import pytest
+
+from repro.discipline.base import ACTION_STEP, Observation, build_discipline
+from repro.discipline.classic import DaemonDiscipline, PiServoDiscipline
+from repro.discipline.interp import endpoint_rate, extrapolate, windowed_anchor
+from repro.discipline.racelab import run_race_scenario
+from repro.faultlab.campaign import metrics_digest, run_scenario
+from repro.faultlab.scenarios import BUILTIN_SCENARIOS
+from repro.ptp.servo import PiServo
+from repro.sim import units
+
+
+# ----------------------------------------------------------------------
+# 1. PiServoDiscipline == PiServo
+# ----------------------------------------------------------------------
+def random_offset_stream(seed, n=500):
+    rng = random.Random(seed)
+    t = 0
+    for _ in range(n):
+        interval = rng.randint(1, 50 * units.MS)
+        t += interval
+        magnitude = 10 ** rng.uniform(0, 13)  # 1 fs .. 10 ms
+        yield t, rng.choice((-1.0, 1.0)) * magnitude, interval
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_pi_discipline_matches_bare_servo(seed):
+    bare = PiServo()
+    disc = PiServoDiscipline()
+    for t, offset, interval in random_offset_stream(seed):
+        expected = bare.sample(offset, interval)
+        action = disc.observe(
+            Observation(time_fs=t, offset_fs=offset, interval_fs=interval)
+        )
+        if expected.kind == "step":
+            assert action.kind == "step"
+            assert action.step_fs == expected.value
+        else:
+            assert action.kind == "slew"
+            assert action.freq_adj == expected.value
+    assert disc.servo.steps == bare.steps
+    assert disc.servo.slews == bare.slews
+    assert disc.servo._integral == bare._integral
+
+
+def test_pi_discipline_wraps_injected_servo():
+    """The PTP slave / NTP client path: the discipline must drive the
+    caller's own servo object, not a copy — counters included."""
+    servo = PiServo(kp=0.3, ki=0.05)
+    disc = PiServoDiscipline(servo=servo)
+    assert disc.servo is servo
+    disc.observe(Observation(time_fs=1, offset_fs=500.0, interval_fs=units.MS))
+    assert servo.slews + servo.steps == 1
+
+
+# ----------------------------------------------------------------------
+# 2. interp primitives == the daemon's pre-refactor math
+# ----------------------------------------------------------------------
+def _old_daemon_estimate(samples, window, x):
+    """The DtpDaemon formulas exactly as they read before extraction."""
+    first_x, first_y = samples[0]
+    last_x, last_y = samples[-1]
+    dx = last_x - first_x
+    ratio = None if dx <= 0 else (last_y - first_y) / dx
+    if ratio is None:
+        ratio = 0.0
+    window = min(window, len(samples))
+    recent = samples[-window:]
+    anchor_x = sum(s[0] for s in recent) / window
+    anchor_y = sum(s[1] for s in recent) / window
+    return anchor_y + (x - anchor_x) * ratio
+
+
+@pytest.mark.parametrize("seed", [2, 3])
+@pytest.mark.parametrize("window", [1, 4, 8])
+def test_interp_matches_verbatim_daemon_math(seed, window):
+    rng = random.Random(seed)
+    samples = []
+    x = 0
+    for _ in range(40):
+        x += rng.randint(1, 10**9)
+        samples.append((x, rng.uniform(-1e9, 1e9)))
+        query = x + rng.randint(0, 10**9)
+        rate = endpoint_rate(
+            samples[0][0], samples[0][1], samples[-1][0], samples[-1][1]
+        )
+        anchor_x, anchor_y = windowed_anchor(
+            [s[0] for s in samples], [s[1] for s in samples], window
+        )
+        got = extrapolate(anchor_x, anchor_y, rate if rate is not None else 0.0, query)
+        # `==`, not isclose: identical float op order is the contract.
+        assert got == _old_daemon_estimate(samples, window, query)
+
+
+def test_daemon_discipline_steps_to_extrapolation():
+    disc = DaemonDiscipline(smoothing_window=2)
+    a1 = disc.observe(Observation(time_fs=10, offset_fs=100.0, interval_fs=10))
+    assert a1.kind == ACTION_STEP and a1.step_fs == -100.0
+    a2 = disc.observe(Observation(time_fs=20, offset_fs=200.0, interval_fs=10))
+    expected = _old_daemon_estimate([(10, 100.0), (20, 200.0)], 2, 20)
+    assert a2.step_fs == -expected
+
+
+# ----------------------------------------------------------------------
+# 3. the race observer never perturbs the scenario
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(BUILTIN_SCENARIOS))
+def test_race_observer_leaves_scenario_digest_untouched(name):
+    spec = BUILTIN_SCENARIOS[name](True)
+    seed = 99
+    plain = run_scenario(dict(spec), seed=seed)
+    raced = run_race_scenario(dict(spec), "pi", seed=seed)
+    assert raced["scenario_digest"] == metrics_digest(plain)
+    assert raced["scenario_metrics"] == plain
+    # And the race itself did something on top of the untouched scenario.
+    assert raced["race"]["observations"] > 0
+
+
+def test_build_discipline_all_kinds_register():
+    for kind in ("pi", "daemon", "skewless", "congestion"):
+        disc = build_discipline(kind)
+        assert disc.kind == kind

@@ -1,0 +1,148 @@
+"""Property tests for the skewless discipline (hypothesis).
+
+The skewless controller (arXiv:1208.5703) claims two things this file
+pins for *any* gain pair inside the documented Jury stability region
+(gamma1 > 0, 0 < gamma2 < 2, gamma1 + 2*gamma2 < 4):
+
+1. it converges — driving a deterministic plant from a large initial
+   offset into a bounded band, without sign-flipping blow-ups;
+2. it is jump-free by construction — every action is a slew, never a
+   phase step, and the commanded frequency is always inside the clamp.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discipline.base import ACTION_SLEW, Observation, build_discipline
+from repro.discipline.skewless import (
+    SkewlessDiscipline,
+    closed_loop_poles,
+    stable_gains,
+)
+from repro.sim import units
+
+import pytest
+
+INTERVAL_FS = 25 * units.US
+
+
+def stable_gain_pairs():
+    """Gain pairs strictly inside the Jury region (margin keeps the
+    discrete simulation away from the marginally-stable boundary)."""
+    return (
+        st.tuples(
+            st.floats(min_value=0.05, max_value=1.5),
+            st.floats(min_value=0.05, max_value=1.5),
+        )
+        .filter(lambda g: stable_gains(*g))
+        .filter(lambda g: g[0] + 2 * g[1] < 3.6)
+    )
+
+
+def run_plant(disc, initial_offset_fs, drift_ppm=0.0, rounds=400):
+    """Drive a noiseless first-order plant: offset integrates the commanded
+    frequency error plus a constant oscillator drift.  Returns the offset
+    trajectory (fs) and the commanded frequencies."""
+    offset = float(initial_offset_fs)
+    t = 0
+    freq = 0.0
+    offsets, freqs = [], []
+    for _ in range(rounds):
+        t += INTERVAL_FS
+        offset += (freq + drift_ppm * 1e-6) * INTERVAL_FS
+        action = disc.observe(
+            Observation(time_fs=t, offset_fs=offset, interval_fs=INTERVAL_FS)
+        )
+        assert action.kind == ACTION_SLEW
+        assert action.step_fs == 0.0
+        freq = action.freq_adj
+        offsets.append(offset)
+        freqs.append(freq)
+    return offsets, freqs
+
+
+@given(gains=stable_gain_pairs(), drift_ppm=st.floats(min_value=-40, max_value=40))
+@settings(max_examples=40, deadline=None)
+def test_stable_gains_converge_without_jumps(gains, drift_ppm):
+    gamma1, gamma2 = gains
+    disc = SkewlessDiscipline(gamma1=gamma1, gamma2=gamma2)
+    offsets, freqs = run_plant(disc, initial_offset_fs=100 * units.NS,
+                               drift_ppm=drift_ppm)
+    # Converges: the last quarter of the run stays inside a band much
+    # smaller than the initial offset (zero in this noiseless plant, but
+    # allow the clamp-limited approach a little slack).
+    tail = offsets[-100:]
+    assert max(abs(o) for o in tail) < 10 * units.NS
+    # Jump-free by construction: never steps, and the commanded frequency
+    # honors the clamp on every single action.
+    assert disc.snapshot()["slews"] == len(offsets)
+    assert all(abs(f) <= disc.max_freq_adj + 1e-18 for f in freqs)
+
+
+@given(gains=stable_gain_pairs())
+@settings(max_examples=60, deadline=None)
+def test_stable_gains_matches_pole_magnitudes(gains):
+    """The algebraic region test agrees with the closed-loop poles."""
+    poles = closed_loop_poles(*gains)
+    assert max(abs(p) for p in poles) < 1.0
+
+
+@given(
+    gamma1=st.floats(min_value=-1.0, max_value=5.0),
+    gamma2=st.floats(min_value=-1.0, max_value=5.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_region_boundary_agrees_with_poles(gamma1, gamma2):
+    """stable_gains(g1, g2) <=> both poles strictly inside the unit circle
+    (away from the boundary, where floating point gets a say)."""
+    margin = 1e-6
+    on_edge = (
+        abs(gamma1) < margin
+        or abs(gamma2) < margin
+        or abs(gamma2 - 2.0) < margin
+        or abs(gamma1 + 2 * gamma2 - 4.0) < margin
+    )
+    if on_edge:
+        return
+    magnitude = max(abs(p) for p in closed_loop_poles(gamma1, gamma2))
+    assert stable_gains(gamma1, gamma2) == (magnitude < 1.0 - 1e-12) or (
+        abs(magnitude - 1.0) < 1e-9
+    )
+
+
+def test_unstable_gains_rejected_at_construction():
+    with pytest.raises(Exception):
+        SkewlessDiscipline(gamma1=2.5, gamma2=1.0)
+    # ... unless explicitly allowed (for racing an unstable card on purpose).
+    disc = SkewlessDiscipline(gamma1=2.5, gamma2=1.0, unstable_ok=True)
+    assert disc.kind == "skewless"
+
+
+def test_unstable_gains_actually_diverge():
+    """Outside the region the same plant never settles — the region is
+    tight.  The +/-500 ppm clamp caps the blow-up into a sign-flipping
+    limit cycle well above the starting offset (the pathology the race's
+    construction-time gain check exists to reject)."""
+    disc = SkewlessDiscipline(gamma1=3.0, gamma2=1.9, unstable_ok=True)
+    offsets, _freqs = run_plant(
+        disc, initial_offset_fs=units.NS, rounds=200
+    )
+    tail = offsets[-20:]
+    assert min(abs(o) for o in tail) > 4 * units.NS  # grew from 1 ns, stuck
+    flips = sum(1 for a, b in zip(tail, tail[1:]) if (a < 0) != (b < 0))
+    assert flips >= 15  # alternating every interval: the limit cycle
+
+
+def test_build_discipline_spec_roundtrip():
+    disc = build_discipline({"kind": "skewless", "gamma1": 0.3, "gamma2": 0.4})
+    assert isinstance(disc, SkewlessDiscipline)
+    assert math.isclose(disc.gamma1, 0.3)
+
+
+def test_snapshot_is_int_and_str_only():
+    disc = SkewlessDiscipline()
+    run_plant(disc, initial_offset_fs=units.NS, rounds=5)
+    for key, value in disc.snapshot().items():
+        assert isinstance(value, (int, str)), (key, value)

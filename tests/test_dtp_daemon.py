@@ -58,6 +58,29 @@ class TestSampling:
         assert daemon.reads <= 4
 
 
+class TestSampleTime:
+    def test_samples_carry_simulated_clock_time(self, sim, streams, synced_net):
+        """Regression: DaemonSample.time_fs is the simulated-clock midpoint
+        of the read, not a default.  Before the fix the field did not
+        exist and consumers had to infer sample times from deque
+        positions, which breaks whenever a read is skipped or delayed."""
+        daemon = make_daemon(sim, synced_net, streams, sample_interval_fs=units.MS)
+        daemon.start()
+        sim.run_until(8 * units.MS)
+        assert daemon.samples
+        for sample in daemon.samples:
+            assert sample.time_fs == (sample.issued_fs + sample.completed_fs) // 2
+            assert sample.issued_fs <= sample.time_fs <= sample.completed_fs
+
+    def test_sample_times_strictly_increase(self, sim, streams, synced_net):
+        daemon = make_daemon(sim, synced_net, streams, sample_interval_fs=units.MS)
+        daemon.start()
+        sim.run_until(10 * units.MS)
+        times = [s.time_fs for s in daemon.samples]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+
 class TestAccuracy:
     def test_estimate_tracks_truth_within_figure7a(self, sim, streams, synced_net):
         daemon = make_daemon(sim, synced_net, streams, sample_interval_fs=units.MS)
