@@ -106,3 +106,62 @@ def test_perf_core_speedup_and_bench_json():
     assert fig6a_batched_speedup >= 1.25, (
         f"batched Fig. 6a speedup only {fig6a_batched_speedup:.2f}x"
     )
+
+    # Sharded-backend guards.  collect() already asserted byte-identity at
+    # every shard count; here we pin the throughput floor.  The wall-clock
+    # ratio is a property of the host's core count — with fewer usable
+    # CPUs than shards the workers time-slice and the ratio legitimately
+    # drops below 1 — so the absolute >= 2x bar applies only where the
+    # hardware can express it; everywhere else the guard catches protocol
+    # regressions (a broken window advance shows up as a collapse in
+    # events/s, far below the coordination overhead of a healthy run).
+    shard = bench["shard"]
+    assert set(shard["shards"]) == {"1", "2", "4"}
+    for level in shard["shards"].values():
+        assert level["bit_identical_to_serial"]
+        assert level["rounds"] > 0
+        assert level["events"] > 0
+    one = shard["shards"]["1"]["speedup_vs_serial"]
+    assert one >= 0.2, (
+        f"single-shard run {one:.2f}x of serial: coordination overhead "
+        "regressed far beyond the protocol's known cost"
+    )
+    if shard["usable_cpus"] >= 4:
+        four = shard["shards"]["4"]["speedup_vs_serial"]
+        assert four >= 1.0, (
+            f"4-shard run only {four:.2f}x of serial on a "
+            f"{shard['usable_cpus']}-CPU host"
+        )
+
+
+def test_shard_acceptance_fat_tree():
+    """The docs/SHARDING.md acceptance run: fat-tree-k8, one simulated
+    second, 4TD checked across the full diameter, >= 2x serial events/s
+    on 4 shards.  Minutes of wall clock and meaningless without >= 4
+    usable CPUs, so it runs only when explicitly requested::
+
+        RUN_SHARD_ACCEPTANCE=1 PYTHONPATH=src python -m pytest \
+            benchmarks/test_perf_core.py::test_shard_acceptance_fat_tree -s
+    """
+    import os
+
+    import pytest
+
+    from repro.bench import collect_shard_acceptance
+
+    if os.environ.get("RUN_SHARD_ACCEPTANCE") != "1":
+        pytest.skip("set RUN_SHARD_ACCEPTANCE=1 to run (minutes of wall time)")
+
+    acceptance = collect_shard_acceptance()
+    print()
+    print(json.dumps(acceptance, indent=2))
+    if BENCH_PATH.exists():
+        bench = json.loads(BENCH_PATH.read_text())
+        bench.setdefault("shard", {})["acceptance"] = acceptance
+        atomic_write_text(str(BENCH_PATH), json.dumps(bench, indent=2) + "\n")
+    assert acceptance["bit_identical_to_serial"]
+    if acceptance["usable_cpus"] >= acceptance["shards"]:
+        assert acceptance["speedup_vs_serial"] >= 2.0, (
+            f"shard acceptance ratio {acceptance['speedup_vs_serial']:.2f}x "
+            f"< 2x on {acceptance['usable_cpus']} usable CPUs"
+        )

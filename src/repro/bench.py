@@ -290,12 +290,116 @@ def collect(repeats: int = TIMING_REPEATS, seed_core=None) -> dict:
         "fig6a_bit_identical_to_scalar": digest_batched == digest_new,
     }
 
+    # --- sharded backend ---------------------------------------------------
+    # Throughput of the conservative parallel backend on the clos-fabric
+    # scenario at 1/2/4 shards, against the serial oracle.  Every sharded
+    # run must produce the byte-identical result dict; the ratios are
+    # hardware truth, not a promise — on boxes with fewer usable CPUs than
+    # shards the workers time-slice one core and the ratio drops below 1
+    # (``usable_cpus`` records the context; the regression guard and the
+    # 2x acceptance test scale their expectations accordingly).
+    from .faultlab.campaign import run_scenario
+    from .faultlab.scenarios import builtin_specs
+    from .resilience import default_jobs
+    from .shard import run_sharded_scenario
+
+    shard_spec = builtin_specs(["clos-fabric"], quick=True)[0]
+    run_scenario(dict(shard_spec), seed=0)  # warm
+    serial_wall = float("inf")
+    serial_result = None
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        serial_result = run_scenario(dict(shard_spec), seed=0)
+        serial_wall = min(serial_wall, time.perf_counter() - start)
+    shard_levels = {}
+    for count in (1, 2, 4):
+        best_wall = float("inf")
+        best_stats = None
+        for _ in range(repeats):
+            stats: dict = {}
+            gc.collect()
+            result = run_sharded_scenario(
+                dict(shard_spec), seed=0, shards=count, stats_out=stats
+            )
+            assert result == serial_result, (
+                "sharded backend changed scenario output"
+            )
+            wall = stats["wall_ns"] / 1e9
+            if wall < best_wall:
+                best_wall = wall
+                best_stats = stats
+        shard_levels[str(count)] = {
+            "events": best_stats["events"],
+            "rounds": best_stats["rounds"],
+            "wall_s": round(best_wall, 3),
+            "events_per_sec": round(best_stats["events"] / best_wall),
+            "speedup_vs_serial": round(serial_wall / best_wall, 2),
+            "bit_identical_to_serial": True,
+        }
+    shard = {
+        "scenario": shard_spec["name"],
+        "simulated_ms": shard_spec["duration_fs"] / units.MS,
+        "serial_wall_s": round(serial_wall, 3),
+        "usable_cpus": default_jobs(),
+        "shards": shard_levels,
+    }
+
     return {
         "engine": engine,
         "fig6a": fig6a,
         "telemetry": bench_telemetry,
         "insight": insight,
         "fastpath": fastpath,
+        "shard": shard,
+    }
+
+
+def collect_shard_acceptance(
+    duration_fs: Optional[int] = None, shards: int = 4
+) -> dict:
+    """The fabric-scale shard acceptance measurement (docs/SHARDING.md).
+
+    Runs ``fat-tree-k8`` — 336 nodes, 1024 port directions, the 4TD
+    invariant checked across the full diameter — once serially and once
+    on ``shards`` workers, asserts the results are byte-identical, and
+    returns the measured ratio.  The full profile simulates one second;
+    pass a smaller ``duration_fs`` for smoke runs.  Expect the >= 2x
+    ratio only with at least ``shards`` usable CPUs.
+    """
+    from .faultlab.campaign import run_scenario
+    from .faultlab.scenarios import builtin_specs
+    from .resilience import default_jobs
+    from .shard import run_sharded_scenario
+
+    spec = builtin_specs(["fat-tree-k8"], quick=False)[0]
+    if duration_fs is not None:
+        spec["duration_fs"] = int(duration_fs)
+    gc.collect()
+    start = time.perf_counter()
+    serial_result = run_scenario(dict(spec), seed=0)
+    serial_wall = time.perf_counter() - start
+    stats: dict = {}
+    gc.collect()
+    sharded_result = run_sharded_scenario(
+        dict(spec), seed=0, shards=shards, stats_out=stats
+    )
+    assert sharded_result == serial_result, (
+        "sharded backend changed scenario output"
+    )
+    sharded_wall = stats["wall_ns"] / 1e9
+    return {
+        "scenario": spec["name"],
+        "simulated_ms": spec["duration_fs"] / units.MS,
+        "shards": shards,
+        "usable_cpus": default_jobs(),
+        "serial_wall_s": round(serial_wall, 3),
+        "sharded_wall_s": round(sharded_wall, 3),
+        "events": stats["events"],
+        "rounds": stats["rounds"],
+        "events_per_sec": round(stats["events"] / sharded_wall),
+        "speedup_vs_serial": round(serial_wall / sharded_wall, 2),
+        "bit_identical_to_serial": True,
     }
 
 
@@ -347,6 +451,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--dry-run", action="store_true",
         help="print the measurements without writing the file",
     )
+    parser.add_argument(
+        "--shard-acceptance", action="store_true",
+        help="also run the fat-tree-k8 shard acceptance measurement "
+        "(one simulated second, serial then 4 shards; minutes of wall "
+        "time, wants >= 4 usable CPUs) and record it under shard.acceptance",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -366,6 +476,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         out = Path("BENCH_core.json")
 
     bench = collect(repeats=args.repeats, seed_core=seed_core)
+    if args.shard_acceptance:
+        bench["shard"]["acceptance"] = collect_shard_acceptance()
     print(json.dumps(bench, indent=2))
     if not args.dry_run:
         atomic_write_text(str(out), json.dumps(bench, indent=2) + "\n")

@@ -44,7 +44,7 @@ from ..clocks.oscillator import ConstantSkew
 from ..clocks.tsc import TscCounter
 from ..experiments.parallel import ExperimentTask, derive_seed, run_named_tasks
 from ..faultlab.campaign import CampaignError, metrics_digest, run_scenario
-from ..faultlab.scenarios import BUILTIN_SCENARIOS
+from ..faultlab.scenarios import BUILTIN_SCENARIOS, FABRIC_SCENARIOS
 from ..ioutil import atomic_write_text
 from ..network.queues import ByteFifo
 from ..sim import units
@@ -386,6 +386,11 @@ EXTRA_RACE_SCENARIOS: Dict[str, tuple] = {
         _congested_baseline,
         {"burst_probability": 0.55, "burst_max_packets": 18},
     ),
+    # The 128-direction fabric track: servo behavior over a multi-path
+    # Clos rather than a chain.  Races always run on the scalar backend
+    # (observers), so this doubles as the race card for the topology the
+    # sharded backend benches on.
+    "clos-fabric": (FABRIC_SCENARIOS["clos-fabric"], {}),
 }
 
 

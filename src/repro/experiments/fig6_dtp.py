@@ -97,6 +97,16 @@ def run_fig6_dtp(
     frame = frame_for(config.frame_name)
     beacon_interval = beacon_interval_ticks_for(frame)
 
+    if backend == "sharded":
+        # fig6a installs traffic generators, log channels, and a
+        # true-offset watcher directly on the live network — custom
+        # events the conservative shard protocol cannot replay (the same
+        # reason run_scenario rejects observers under --backend sharded).
+        raise ValueError(
+            "backend='sharded' supports spec-driven faultlab scenarios "
+            "only; fig6a's traffic/log drivers need one live process "
+            "(see docs/SHARDING.md)"
+        )
     sim = MacroTickSimulator() if backend == "batched" else Simulator()
     streams = RandomStreams(config.seed)
     topology = paper_testbed()

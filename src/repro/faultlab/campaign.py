@@ -156,6 +156,8 @@ def run_scenario(
     profile_dispatch: bool = False,
     backend: str = "scalar",
     observers: Optional[List[Callable[..., object]]] = None,
+    shards: Optional[int] = None,
+    shard_transport: str = "process",
 ) -> Dict[str, object]:
     """Run one scenario and return its (canonically JSON-able) metrics.
 
@@ -198,6 +200,28 @@ def run_scenario(
     duration_fs = int(spec["duration_fs"])
     if duration_fs <= 0:
         raise CampaignError("duration_fs must be positive")
+
+    if backend == "sharded":
+        # Conservative parallel backend: partitions the topology across
+        # worker shards and replays telemetry/checker events in serial
+        # order.  Results and artifacts are byte-identical to scalar
+        # (see docs/SHARDING.md); features that need one live process
+        # (observers, profiling, custom engines) are rejected there.
+        from ..shard import run_sharded_scenario
+
+        return run_sharded_scenario(
+            spec,
+            seed=seed,
+            sim_factory=sim_factory,
+            telemetry=telemetry,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
+            flight_dir=flight_dir,
+            profile_dispatch=profile_dispatch,
+            observers=observers,
+            shards=shards,
+            transport=shard_transport,
+        )
 
     if telemetry is None and (trace_dir or metrics_dir or flight_dir or profile_dispatch):
         telemetry = Telemetry(profile_dispatch=profile_dispatch)
@@ -381,8 +405,17 @@ def _scenario_task(
     flight_dir: Optional[str] = None,
     profile_dispatch: bool = False,
     backend: str = "scalar",
+    shards: Optional[int] = None,
+    shard_transport: str = "process",
 ) -> Dict[str, object]:
     """Module-level (hence picklable) worker for the parallel runner."""
+    if backend == "sharded" and shard_transport == "process":
+        import multiprocessing
+
+        # Pool workers are daemonic and cannot spawn shard hosts; the
+        # inline transport is byte-identical, so fall back silently.
+        if multiprocessing.current_process().daemon:
+            shard_transport = "inline"
     return run_scenario(
         spec,
         seed=seed,
@@ -391,6 +424,8 @@ def _scenario_task(
         flight_dir=flight_dir,
         profile_dispatch=profile_dispatch,
         backend=backend,
+        shards=shards,
+        shard_transport=shard_transport,
     )
 
 
@@ -402,6 +437,8 @@ def _campaign_tasks(
     flight_dir: Optional[str],
     profile_dispatch: bool = False,
     backend: str = "scalar",
+    shards: Optional[int] = None,
+    shard_transport: str = "process",
 ) -> List[ExperimentTask]:
     tasks = []
     for spec in specs:
@@ -419,6 +456,8 @@ def _campaign_tasks(
                     "flight_dir": flight_dir,
                     "profile_dispatch": profile_dispatch,
                     "backend": backend,
+                    "shards": shards,
+                    "shard_transport": shard_transport,
                 },
                 seed=derive_seed(base_seed, name),
             )
@@ -435,6 +474,8 @@ def run_campaign(
     flight_dir: Optional[str] = None,
     profile_dispatch: bool = False,
     backend: str = "scalar",
+    shards: Optional[int] = None,
+    shard_transport: str = "process",
 ) -> Dict[str, Dict[str, object]]:
     """Run many scenarios, each seeded from ``(base_seed, scenario name)``.
 
@@ -448,7 +489,7 @@ def run_campaign(
     """
     tasks = _campaign_tasks(
         specs, base_seed, trace_dir, metrics_dir, flight_dir, profile_dispatch,
-        backend,
+        backend, shards, shard_transport,
     )
     return run_named_tasks(tasks, jobs=jobs)
 
@@ -464,6 +505,8 @@ def run_resilient_campaign(
     policy=None,
     profile_dispatch: bool = False,
     backend: str = "scalar",
+    shards: Optional[int] = None,
+    shard_transport: str = "process",
 ):
     """Run a campaign under the :mod:`repro.resilience` supervisor.
 
@@ -484,7 +527,7 @@ def run_resilient_campaign(
 
     tasks = _campaign_tasks(
         specs, base_seed, trace_dir, metrics_dir, flight_dir, profile_dispatch,
-        backend,
+        backend, shards, shard_transport,
     )
     if policy is None:
         policy = SupervisorPolicy(base_seed=base_seed)

@@ -39,7 +39,7 @@ from .campaign import (
     run_campaign,
     run_resilient_campaign,
 )
-from .scenarios import BUILTIN_SCENARIOS, builtin_specs
+from .scenarios import BUILTIN_SCENARIOS, FABRIC_SCENARIOS, builtin_specs
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -60,10 +60,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true", help="shorter runs for smoke testing"
     )
     parser.add_argument(
-        "--backend", choices=("scalar", "batched"), default="scalar",
+        "--backend", choices=("scalar", "batched", "sharded"), default="scalar",
         help="simulation backend; 'batched' routes healthy DTP port "
-        "directions through the repro.fastpath coordinator (output is "
-        "byte-identical to scalar, just faster)",
+        "directions through the repro.fastpath coordinator, 'sharded' "
+        "partitions the topology across parallel worker shards "
+        "(docs/SHARDING.md) — output is byte-identical to scalar either "
+        "way, just faster",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="worker shards for --backend sharded (default: min of usable "
+        "CPUs and the scenario's cut-partition count)",
+    )
+    parser.add_argument(
+        "--shard-transport", choices=("process", "inline"), default="process",
+        help="how shards are hosted under --backend sharded: supervised "
+        "worker processes (default) or in-process objects (debugging; "
+        "byte-identical output)",
     )
     parser.add_argument(
         "-j", "--jobs", type=int, default=1, metavar="N",
@@ -123,6 +136,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list:
         for name in BUILTIN_SCENARIOS:
             print(name)
+        for name in FABRIC_SCENARIOS:
+            print(f"{name}  (fabric-scale; by explicit name only)")
         return 0
 
     try:
@@ -157,6 +172,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             policy=policy,
             profile_dispatch=args.profile,
             backend=args.backend,
+            shards=args.shards,
+            shard_transport=args.shard_transport,
         )
     else:
         results = run_campaign(
@@ -168,6 +185,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             flight_dir=args.dump_trace,
             profile_dispatch=args.profile,
             backend=args.backend,
+            shards=args.shards,
+            shard_transport=args.shard_transport,
         )
     # stdout carries only the (digest-stable) campaign results; failure
     # reporting goes to stderr so supervised and plain runs of the same

@@ -144,10 +144,25 @@ class InvariantChecker:
         self.reconnect_recoveries: List[Dict[str, object]] = []
 
         self._nodes = list(network.devices)
+        self._node_order = {name: i for i, name in enumerate(self._nodes)}
         self._last_counter: Dict[str, int] = {}
         self._connected_since: Dict[Tuple[str, str], int] = {}
         self._awaiting_recovery: Dict[Tuple[str, str], int] = {}
         self._quarantined: Dict[str, str] = {}
+        # Per-connectivity-epoch caches: distances and the checkable pair
+        # list only change when the synchronized edge set, the
+        # quarantined/healing sets, or pair-connection epochs change.  On
+        # fabric topologies rebuilding them every tick is the dominant
+        # cost of the whole simulation, so ticks reuse them until the
+        # signature moves (behavior stays bit-identical — the caches hold
+        # exactly what the per-tick recomputation would have produced).
+        self._cache_sig: Optional[tuple] = None
+        self._cache_distances: Optional[Dict[str, Dict[str, int]]] = None
+        self._cache_pairs: Optional[List[tuple]] = None
+        #: Bumped whenever ``_connected_since`` membership changes (its
+        #: values are immutable while a pair stays connected).
+        self._conn_epoch = 0
+        self._last_conn_sig: Optional[tuple] = None
         #: node -> (fault reason, healing since, peers that must be back
         #: in bound before the node counts as recovered).
         self._healing: Dict[str, Tuple[str, int, FrozenSet[str]]] = {}
@@ -294,33 +309,62 @@ class InvariantChecker:
             name: self._distances_from(name, adjacency) for name in self._nodes
         }
 
+    def _cache_key(self) -> tuple:
+        """Everything the distance/pair caches depend on, O(edges)."""
+        ports = self.network.ports
+        devices = self.network.devices
+        sync_edges = tuple(
+            idx
+            for idx, edge in enumerate(self.network.topology.edges)
+            if ports[(edge.a, edge.b)].synchronized
+            and ports[(edge.b, edge.a)].synchronized
+        )
+        return (
+            sync_edges,
+            frozenset(self._quarantined),
+            frozenset(self._healing),
+            self._conn_epoch,
+            tuple(devices[name].counter_increment for name in self._nodes),
+        )
+
+    def _epoch_state(self) -> Tuple[Dict[str, Dict[str, int]], List[tuple]]:
+        """Cached ``(distances, pair list)`` for the current epoch.
+
+        The pair list holds ``(a, b, bound, since)`` in the exact i<j
+        node order the per-tick recomputation would enumerate; ``since``
+        is ``None`` for pairs not yet in ``_connected_since`` (the
+        original code reads those as "connected just now").
+        """
+        key = self._cache_key()
+        if key != self._cache_sig:
+            self._cache_distances = self._all_distances()
+            pairs: List[tuple] = []
+            nodes = self._nodes
+            skip = self._quarantined.keys() | self._healing.keys()
+            since_map = self._connected_since
+            for i, a in enumerate(nodes):
+                if a in skip:
+                    continue
+                dist_a = self._cache_distances[a]
+                for b in nodes[i + 1 :]:
+                    if b in skip:
+                        continue
+                    hops = dist_a.get(b)
+                    if hops is None:
+                        continue
+                    pairs.append(
+                        (a, b, self._pair_bound(a, b, hops), since_map.get((a, b)))
+                    )
+            self._cache_pairs = pairs
+            self._cache_sig = key
+        return self._cache_distances, self._cache_pairs
+
     def _pair_bound(self, a: str, b: str, hops: int) -> int:
         increment = max(
             self.network.devices[a].counter_increment,
             self.network.devices[b].counter_increment,
         )
         return (self.bound_ticks_per_hop * hops + self.slack_ticks) * increment
-
-    def _checkable_pairs_from(
-        self, distances: Dict[str, Dict[str, int]], enforce_grace: bool
-    ) -> List[Tuple[str, str, int]]:
-        now = self.network.sim.now
-        pairs: List[Tuple[str, str, int]] = []
-        for i, a in enumerate(self._nodes):
-            if a in self._quarantined or a in self._healing:
-                continue
-            dist_a = distances[a]
-            for b in self._nodes[i + 1 :]:
-                if b in self._quarantined or b in self._healing:
-                    continue
-                hops = dist_a.get(b)
-                if hops is None:
-                    continue
-                since = self._connected_since.get((a, b), now)
-                if enforce_grace and now - since < self.grace_fs:
-                    continue
-                pairs.append((a, b, self._pair_bound(a, b, hops)))
-        return pairs
 
     def checkable_pairs(
         self, enforce_grace: bool = True
@@ -332,17 +376,26 @@ class InvariantChecker:
         ``enforce_grace``) the pair has been connected at least
         ``grace_fs``.
         """
-        return self._checkable_pairs_from(self._all_distances(), enforce_grace)
+        _, pairs = self._epoch_state()
+        now = self.network.sim.now
+        grace = self.grace_fs
+        out: List[Tuple[str, str, int]] = []
+        for a, b, bound, since in pairs:
+            if enforce_grace and now - (now if since is None else since) < grace:
+                continue
+            out.append((a, b, bound))
+        return out
 
     def worst_checkable_offset(self) -> Optional[int]:
         """Largest |offset| among currently checkable pairs (None if none)."""
         now = self.network.sim.now
+        devices = self.network.devices
+        counters = {
+            name: devices[name].global_counter(now) for name in self._nodes
+        }
         worst = None
         for a, b, _bound in self.checkable_pairs():
-            offset = abs(
-                self.network.devices[a].global_counter(now)
-                - self.network.devices[b].global_counter(now)
-            )
+            offset = abs(counters[a] - counters[b])
             if worst is None or offset > worst:
                 worst = offset
         return worst
@@ -360,12 +413,16 @@ class InvariantChecker:
         counters = {
             name: devices[name].global_counter(now) for name in self._nodes
         }
-        distances = self._all_distances()
+        distances, pairs = self._epoch_state()
+        # The connected-pair set is a function of (sync edges, quarantined)
+        # alone; when that signature has not moved since the previous tick,
+        # _update_connectivity_epochs can skip its all-pairs sweep.
+        conn_sig = (self._cache_sig[0], self._cache_sig[1])
 
         self._check_monotonic(now, counters)
         self._check_wrap_codec(now, counters)
-        self._check_pair_bounds(now, counters, distances)
-        self._update_connectivity_epochs(now, counters, distances)
+        self._check_pair_bounds(now, counters, pairs)
+        self._update_connectivity_epochs(now, counters, distances, conn_sig)
         self._check_recoveries(now, counters, distances)
 
         if self._m_checks is not None:
@@ -415,19 +472,27 @@ class InvariantChecker:
                 )
 
     def _check_pair_bounds(
-        self,
-        now: int,
-        counters: Dict[str, int],
-        distances: Dict[str, Dict[str, int]],
+        self, now: int, counters: Dict[str, int], pairs: List[tuple]
     ) -> None:
         any_above = False
-        for a, b, bound in self._checkable_pairs_from(distances, True):
+        grace = self.grace_fs
+        allowance = self.transient_allowance_intervals
+        streaks = self._above_streak
+        # reconstruct_counter picks the unique value congruent to ``low``
+        # within [reference - 2^(bits-1), reference + 2^(bits-1)), so when
+        # |gc_a - gc_b| sits strictly inside that half-window the cross-node
+        # round trip provably recovers gc_a — only offsets near the wrap
+        # boundary need the real codec call.
+        half = 1 << (dtpmsg.COUNTER_LOW_BITS - 1)
+        for a, b, bound, since in pairs:
+            if now - (now if since is None else since) < grace:
+                continue
             offset = counters[a] - counters[b]
             self.pairs_checked += 1
-            if abs(offset) > bound:
-                streak = self._above_streak.get((a, b), 0) + 1
-                self._above_streak[(a, b)] = streak
-                if streak <= self.transient_allowance_intervals:
+            if offset > bound or offset < -bound:
+                streak = streaks.get((a, b), 0) + 1
+                streaks[(a, b)] = streak
+                if streak <= allowance:
                     # Known-benign propagation transient (a gc wave arriving
                     # at the two nodes one beacon apart): forgiven as long
                     # as it clears within the allowance.
@@ -441,7 +506,10 @@ class InvariantChecker:
                     {"offset": offset, "bound": bound},
                 )
             else:
-                self._above_streak.pop((a, b), None)
+                if streaks:
+                    streaks.pop((a, b), None)
+                if -half < offset < half:
+                    continue
                 # Wrap correctness *across* nodes: reconstructing a's low
                 # half against b's counter must recover a's exact counter
                 # whenever the pair is within bound (Section 4.4).
@@ -466,8 +534,36 @@ class InvariantChecker:
         now: int,
         counters: Dict[str, int],
         distances: Dict[str, Dict[str, int]],
+        conn_sig: Optional[tuple] = None,
     ) -> None:
+        if conn_sig is not None and conn_sig == self._last_conn_sig:
+            # Same synchronized edges and quarantine set as last tick, so
+            # the connected-pair set is unchanged: no epoch starts or ends,
+            # and only pairs still awaiting recovery need their in-bound
+            # check.  Sorting by node order reproduces the append order the
+            # full double loop would have produced.
+            if self._awaiting_recovery:
+                order = self._node_order
+                for pair in sorted(
+                    self._awaiting_recovery,
+                    key=lambda p: (order[p[0]], order[p[1]]),
+                ):
+                    a, b = pair
+                    if abs(counters[a] - counters[b]) <= self._pair_bound(
+                        a, b, distances[a][b]
+                    ):
+                        self.reconnect_recoveries.append(
+                            {
+                                "pair": f"{a}-{b}",
+                                "connected_fs": self._awaiting_recovery[pair],
+                                "recovered_after_fs": now
+                                - self._awaiting_recovery[pair],
+                            }
+                        )
+                        del self._awaiting_recovery[pair]
+            return
         connected_now = set()
+        membership_changed = False
         for i, a in enumerate(self._nodes):
             if a in self._quarantined:
                 continue
@@ -483,6 +579,7 @@ class InvariantChecker:
                 if pair not in self._connected_since:
                     self._connected_since[pair] = now
                     self._awaiting_recovery[pair] = now
+                    membership_changed = True
                 if pair in self._awaiting_recovery:
                     if abs(counters[a] - counters[b]) <= self._pair_bound(
                         a, b, hops
@@ -500,6 +597,10 @@ class InvariantChecker:
             if pair not in connected_now:
                 del self._connected_since[pair]
                 self._awaiting_recovery.pop(pair, None)
+                membership_changed = True
+        if membership_changed:
+            self._conn_epoch += 1
+        self._last_conn_sig = conn_sig
 
     def _check_recoveries(
         self,

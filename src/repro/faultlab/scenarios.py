@@ -177,6 +177,34 @@ def _runaway(quick: bool) -> Dict[str, object]:
     }
 
 
+def _clos_fabric(quick: bool) -> Dict[str, object]:
+    # A 4-spine / 8-leaf folded Clos with 4 hosts per leaf: 128 port
+    # directions, diameter 4 — the smallest fabric where the sharded
+    # backend's cut-link protocol carries real traffic on every boundary.
+    return {
+        "name": "clos-fabric",
+        "topology": {"kind": "clos", "spines": 4, "leaves": 8, "hosts_per_leaf": 4},
+        "duration_fs": (1 if quick else 2) * units.MS,
+        "config": {"beacon_interval_ticks": 2000},
+        "faults": [],
+    }
+
+
+def _fat_tree_k8(quick: bool) -> Dict[str, object]:
+    # The ROADMAP north-star shape: a k=8 fat-tree with 8 hosts per edge
+    # switch — 336 nodes, 1024 port directions, diameter 6, so the 4TD
+    # invariant is checked across the paper's full-diameter bound.  The
+    # full profile runs one simulated second (the shard-acceptance
+    # workload); quick keeps CI honest at a few beacon intervals.
+    return {
+        "name": "fat-tree-k8",
+        "topology": {"kind": "fat-tree", "k": 8, "hosts_per_edge": 8},
+        "duration_fs": (3 * units.MS) if quick else units.SEC,
+        "config": {"beacon_interval_ticks": 25_000},
+        "faults": [],
+    }
+
+
 #: Ordered scenario name -> builder(quick) -> spec.
 BUILTIN_SCENARIOS: Dict[str, Callable[[bool], Dict[str, object]]] = {
     "baseline": _baseline,
@@ -190,19 +218,33 @@ BUILTIN_SCENARIOS: Dict[str, Callable[[bool], Dict[str, object]]] = {
     "runaway": _runaway,
 }
 
+#: Fabric-scale scenarios (the sharded backend's home turf).  Kept out
+#: of ``BUILTIN_SCENARIOS`` — ``repro faultlab`` with no arguments, the
+#: insight tooling, and the racelab builtins all assume exactly nine —
+#: but resolvable by explicit name everywhere specs are.
+FABRIC_SCENARIOS: Dict[str, Callable[[bool], Dict[str, object]]] = {
+    "clos-fabric": _clos_fabric,
+    "fat-tree-k8": _fat_tree_k8,
+}
+
 
 def builtin_specs(
     names: Optional[Iterable[str]] = None, quick: bool = False
 ) -> List[Dict[str, object]]:
-    """Specs for the named built-in scenarios (all of them by default)."""
+    """Specs for the named built-in scenarios (all of them by default).
+
+    Fabric-scale scenarios (:data:`FABRIC_SCENARIOS`) resolve by explicit
+    name only — the no-argument campaign stays the nine-builtin matrix.
+    """
     if names is None:
         names = list(BUILTIN_SCENARIOS)
     specs = []
     for name in names:
-        builder = BUILTIN_SCENARIOS.get(name)
+        builder = BUILTIN_SCENARIOS.get(name) or FABRIC_SCENARIOS.get(name)
         if builder is None:
             raise CampaignError(
-                f"unknown scenario {name!r}; known: {sorted(BUILTIN_SCENARIOS)}"
+                f"unknown scenario {name!r}; known: "
+                f"{sorted(BUILTIN_SCENARIOS) + sorted(FABRIC_SCENARIOS)}"
             )
         specs.append(builder(quick))
     return specs

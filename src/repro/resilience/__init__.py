@@ -30,6 +30,7 @@ from .supervisor import (  # noqa: F401
     SupervisorPolicy,
     TaskFailure,
     backoff_slots,
+    default_jobs,
     run_supervised,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "SupervisorPolicy",
     "TaskFailure",
     "backoff_slots",
+    "default_jobs",
     "run_supervised",
 ]

@@ -166,6 +166,16 @@ def build(name: str, seed: int = 0, backend: str = "scalar") -> Scenario:
         raise KeyError(
             f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
         ) from None
+    if backend == "sharded":
+        # These scenarios hand back a live (sim, network) pair for the
+        # caller to drive interactively — there is no single process to
+        # hand back under the sharded backend.  The spec-driven faultlab
+        # fabric scenarios cover the parallel regime instead.
+        raise ValueError(
+            "backend='sharded' runs spec-driven scenarios only; use "
+            "'repro faultlab --backend sharded' (e.g. the clos-fabric / "
+            "fat-tree-k8 fabric scenarios, see docs/SHARDING.md)"
+        )
     sim = MacroTickSimulator() if backend == "batched" else Simulator()
     streams = RandomStreams(seed)
     return factory(sim, streams, backend)

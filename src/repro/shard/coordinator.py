@@ -1,0 +1,457 @@
+"""The sharded-run coordinator: window advancement and deterministic merge.
+
+The coordinator drives the conservative time-window protocol and is the
+only place where per-shard state meets.  Each round it
+
+1. computes the next **grant** — the earliest instant any shard could
+   still be influenced: the minimum over every shard's promise (the null
+   message), every in-transit unsafe arrival's influence bound, and the
+   end of the run;
+2. services every shard (delivering the boundary arrivals captured last
+   round) and lets each run all events strictly before the grant;
+3. **merge-walks** the round: every trace record, every fault→checker
+   call, and every checker/sampler grid instant is sorted by its
+   serial-equivalent event key ``(time, alloc_time, alloc_ctr, src,
+   ordinal)`` and replayed — trace records into one coordinator-side
+   :class:`~repro.telemetry.trace.TraceRecorder` (subject ids translated
+   through the shard tables), checker calls and grid ticks against a
+   *real* :class:`~repro.faultlab.invariants.InvariantChecker` that reads
+   the merged counter/port state through a replay view of the network.
+
+Because the walk applies exactly the reads and writes the serial run's
+single checker performed, in exactly the serial order, every derived
+quantity — violation counts, recovery timings, metric families, the
+trace ring, and hence the flight/trace/metrics artifacts and their
+digests — is byte-identical to the single-process run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..clocks.oscillator import ConstantSkew
+from ..dtp.network import DtpNetwork
+from ..dtp.port import DtpPortConfig
+from ..faultlab.campaign import (
+    CampaignError,
+    _artifact,
+    _attach_insight,
+    build_fault,
+    build_topology,
+)
+from ..faultlab.invariants import InvariantChecker
+from .. import metrics
+from ..ioutil import atomic_write_text
+from ..sim.engine import Simulator
+from ..sim.randomness import RandomStreams
+from ..telemetry import dump_flight, write_metrics_json, write_trace_jsonl
+from ..telemetry.registry import CounterFamily
+from .partition import ShardPlan
+
+#: Merge-walk item tags, in no particular order (keys never tie).
+_REC, _CALL, _CHECK, _SAMPLE = 0, 1, 2, 3
+
+#: Consecutive no-progress rounds tolerated before declaring a stall.
+_STALL_LIMIT = 2
+
+
+class _StateBox:
+    """Stand-in for a port's state enum: just carries ``.value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+class _ReplayPort:
+    __slots__ = ("synchronized", "state")
+
+    def __init__(self) -> None:
+        self.synchronized = False
+        self.state = _StateBox(None)
+
+
+class _ReplayDevice:
+    """Device shim: merged counter value + the real static increment."""
+
+    __slots__ = ("counter_increment", "_counters", "_name")
+
+    def __init__(self, name: str, real_device, counters: Dict[str, int]) -> None:
+        self.counter_increment = real_device.counter_increment
+        self._counters = counters
+        self._name = name
+
+    def global_counter(self, _now_fs: int) -> int:
+        return self._counters[self._name]
+
+
+class _ReplaySim:
+    """Settable clock; scheduling calls are absorbed (the walk IS time)."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def schedule(self, _delay_fs: int, _fn, *_args) -> object:
+        return None
+
+    def schedule_at(self, _time_fs: int, _fn, *_args) -> object:
+        return None
+
+    def cancel(self, _event) -> None:
+        return None
+
+
+class _ReplayNetwork:
+    """What the replay :class:`InvariantChecker` sees: the real network's
+    structure (topology, config, spec, telemetry) over merged state."""
+
+    def __init__(self, network: DtpNetwork) -> None:
+        self._network = network
+        self.sim = _ReplaySim()
+        self.counters: Dict[str, int] = {}
+        self.devices = {
+            name: _ReplayDevice(name, device, self.counters)
+            for name, device in network.devices.items()
+        }
+        self.ports = {key: _ReplayPort() for key in network.ports}
+
+    def __getattr__(self, name: str):
+        return getattr(self._network, name)
+
+    def apply_bundle(self, bundle: Dict[str, dict]) -> None:
+        self.counters.update(bundle["counters"])
+        for key, (synchronized, state_value) in bundle["ports"].items():
+            port = self.ports[tuple(key)]
+            port.synchronized = synchronized
+            port.state.value = state_value
+
+
+def _grid_key(
+    index: int, time_fs: int, prev_fs: int, root_ordinal: int, src: int
+) -> Tuple[int, int, int, int, int]:
+    """The serial-equivalent event key of checker tick / sampler ``index``.
+
+    The first firing was allocated in the root phase (its key is the root
+    ordinal the worker's ``push_root_probe`` consumed); every later one
+    was allocated during the previous grid dispatch, before any real
+    allocation there (``-1`` sorts below every genuine counter)."""
+    if index == 0:
+        return (time_fs, -1, root_ordinal, 0, 0)
+    return (time_fs, prev_fs, -1, src, 0)
+
+
+def run_sharded(
+    spec: Dict[str, object],
+    seed: int,
+    plan: ShardPlan,
+    transport,
+    telemetry=None,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+    stats_out: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Run one (pre-validated) scenario across ``plan.shards`` workers.
+
+    Returns the exact :func:`~repro.faultlab.campaign.run_scenario` result
+    dict; writes the same artifacts to the same paths.  ``stats_out``, if
+    given, receives runner statistics (events dispatched, rounds, wall
+    time) on the side — deliberately outside the result, which must stay
+    byte-identical to the serial run.
+    """
+    name = str(spec.get("name", "scenario"))
+    duration_fs = int(spec["duration_fs"])
+    shards = plan.shards
+    wall_start = time.perf_counter_ns()
+
+    # Replicate scenario construction (same stream draws, same port
+    # interning order into the coordinator tracer as the serial run).
+    dummy_sim = Simulator()
+    streams = RandomStreams(root_seed=seed)
+    topology = build_topology(spec["topology"])
+    config = DtpPortConfig(**spec.get("config", {}))
+    skew_ppm = spec.get("skew_ppm")
+    skews = (
+        {node: ConstantSkew(float(ppm)) for node, ppm in skew_ppm.items()}
+        if skew_ppm
+        else None
+    )
+    faults = [
+        build_fault(fault_spec, index)
+        for index, fault_spec in enumerate(spec.get("faults", []))
+    ]
+    tainted = (
+        frozenset().union(*(f.tainted_nodes() for f in faults))
+        if faults
+        else frozenset()
+    )
+    network = DtpNetwork(
+        dummy_sim,
+        topology,
+        streams,
+        config=config,
+        skews=skews,
+        telemetry=telemetry,
+        backend="scalar",
+        tainted_nodes=tainted,
+    )
+    view = _ReplayNetwork(network)
+    checker = InvariantChecker(view, **spec.get("checker", {}))
+    tracer = telemetry.tracer if telemetry is not None else None
+
+    handshakes = transport.launch(spec, seed, plan, telemetry is not None,
+                                  tracer is not None)
+    promises = [h["promise"] for h in handshakes]
+    subjects = [h["subjects"] for h in handshakes]
+    checker_root = handshakes[0]["checker_root_ordinal"]
+    sampler_root = handshakes[0]["sampler_root_ordinal"]
+    interval_fs = handshakes[0]["interval_fs"]
+    start_fs = handshakes[0]["start_fs"]
+    sample_interval_fs = handshakes[0]["sample_interval_fs"]
+    for h in handshakes[1:]:
+        if (
+            h["checker_root_ordinal"] != checker_root
+            or h["sampler_root_ordinal"] != sampler_root
+        ):
+            raise CampaignError(
+                "shard construction diverged: root ordinals differ "
+                f"(shard 0: {checker_root}/{sampler_root}, shard "
+                f"{h['shard']}: {h['checker_root_ordinal']}/"
+                f"{h['sampler_root_ordinal']})"
+            )
+    checker_start = max(int(start_fs), 0)
+
+    grant_cap = duration_fs + 1
+    pending: List[List[tuple]] = [[] for _ in range(shards)]
+    sample_values: List[int] = []
+    rounds = 0
+    stalled = 0
+    prev_grant = None
+
+    def replay_call(payload: tuple) -> None:
+        op = payload[0]
+        if op == "quarantine":
+            checker.quarantine(payload[1], payload[2])
+        elif op == "release":
+            checker.release(payload[1], payload[2], wait_for=payload[3])
+        elif op == "notify_counter_reset":
+            checker.notify_counter_reset(payload[1])
+        else:  # pragma: no cover - worker/coordinator version skew
+            raise CampaignError(f"unknown checker call {op!r}")
+
+    while True:
+        bounds: List[int] = []
+        for dest in range(shards):
+            out_la = plan.min_out_lookahead(dest)
+            if out_la is None:
+                continue
+            for item in pending[dest]:
+                if item[7]:  # unsafe: may cascade back across the cut
+                    bounds.append(item[2] + out_la)
+        grant = min(
+            [grant_cap]
+            + [p for p in promises if p is not None]
+            + bounds
+        )
+        delivered = sum(len(p) for p in pending)
+        if grant == prev_grant and delivered == 0:
+            stalled += 1
+            if stalled > _STALL_LIMIT:
+                raise CampaignError(
+                    f"sharded window stalled at grant={grant} fs "
+                    f"(promises={promises}); this is a bug in the "
+                    "conservative protocol, not in the scenario"
+                )
+        else:
+            stalled = 0
+        prev_grant = grant
+
+        requests = [(grant, pending[s]) for s in range(shards)]
+        pending = [[] for _ in range(shards)]
+        responses = transport.service(requests)
+        rounds += 1
+
+        promises = [r["promise"] for r in responses]
+        for r in responses:
+            for item in r["outbox"]:
+                pending[item[0]].append(item)
+
+        # ---- merge-walk this round ---------------------------------
+        items: List[tuple] = []
+        checker_idx: Optional[set] = None
+        sampler_idx: Optional[set] = None
+        for s, r in enumerate(responses):
+            for rec in r["records"]:
+                items.append(((rec[0], rec[1], rec[2], rec[3], rec[4]),
+                              _REC, s, rec))
+            for call in r["calls"]:
+                items.append(((call[0], call[1], call[2], call[3], call[4]),
+                              _CALL, s, call))
+            cidx = set(r["checker_bundles"])
+            sidx = set(r["sampler_bundles"])
+            if checker_idx is None:
+                checker_idx, sampler_idx = cidx, sidx
+            elif cidx != checker_idx or sidx != sampler_idx:
+                raise CampaignError(
+                    "shard probe grids diverged within one window "
+                    f"(shard 0: {sorted(checker_idx)}/{sorted(sampler_idx)},"
+                    f" shard {s}: {sorted(cidx)}/{sorted(sidx)})"
+                )
+        for i in sorted(checker_idx or ()):
+            t = checker_start + i * interval_fs
+            key = _grid_key(i, t, t - interval_fs, checker_root, 0)
+            items.append((key, _CHECK, i, None))
+        for j in sorted(sampler_idx or ()):
+            t = j * sample_interval_fs
+            key = _grid_key(j, t, t - sample_interval_fs, sampler_root, 1)
+            items.append((key, _SAMPLE, j, None))
+
+        items.sort(key=lambda item: (item[0], item[1]))
+        for key, tag, who, payload in items:
+            if tag == _REC:
+                if tracer is not None:
+                    tracer.record(
+                        payload[0],
+                        payload[5],
+                        tracer.subject_id(subjects[who][payload[6]]),
+                        payload[7],
+                        payload[8],
+                    )
+            elif tag == _CALL:
+                view.sim.now = payload[0]
+                replay_call(payload[5])
+            elif tag == _CHECK:
+                for r in responses:
+                    view.apply_bundle(r["checker_bundles"][who])
+                view.sim.now = key[0]
+                checker._tick()
+            else:  # _SAMPLE
+                for r in responses:
+                    view.apply_bundle(r["sampler_bundles"][who])
+                view.sim.now = key[0]
+                worst = checker.worst_checkable_offset()
+                if worst is not None:
+                    sample_values.append(worst)
+
+        if (
+            grant >= grant_cap
+            and not any(pending)
+            and all(p is None or p >= grant_cap for p in promises)
+        ):
+            break
+
+    finals = transport.finalize(duration_fs)
+    for final in finals:
+        view.apply_bundle(final["final"])
+    view.sim.now = duration_fs
+
+    # Registry merge: per-shard counter families sum into the coordinator
+    # registry (every port-counter cell already exists here at 0 from the
+    # replicated construction; foreign-port cells stayed 0 on shards, so
+    # the sum is exactly the serial value).
+    if telemetry is not None:
+        registry = telemetry.registry
+        for final in finals:
+            for family_name, cells in final["metric_counters"].items():
+                family = registry.get(family_name)
+                if not isinstance(family, CounterFamily):  # pragma: no cover
+                    raise CampaignError(
+                        f"shard exported non-counter family {family_name!r}"
+                    )
+                children = family._children
+                for label_key, value in cells:
+                    label_key = tuple(label_key)
+                    child = children.get(label_key)
+                    if child is None:
+                        child = family._make_child()
+                        children[label_key] = child
+                    child.value += value
+
+    fault_summaries: Dict[str, dict] = {}
+    for final in finals:
+        fault_summaries.update(final["fault_summaries"])
+    all_synchronized = all(final["all_synchronized"] for final in finals)
+    events_dispatched = sum(final["events_dispatched"] for final in finals)
+
+    if telemetry is not None:
+        if flight_dir is not None and checker.total_violations:
+            dump = dump_flight(
+                _artifact(flight_dir, name, "flight.jsonl"),
+                telemetry,
+                name,
+                seed,
+                duration_fs,
+                context=dict(
+                    checker.snapshot_context(),
+                    violation=checker.violations[0].as_dict()
+                    if checker.violations
+                    else {},
+                ),
+            )
+            _attach_insight(flight_dir, name, "insight.md", dump)
+        if trace_dir is not None and telemetry.tracer is not None:
+            write_trace_jsonl(
+                _artifact(trace_dir, name, "trace.jsonl"), telemetry.tracer
+            )
+        if metrics_dir is not None:
+            write_metrics_json(
+                _artifact(metrics_dir, name, "metrics.json"), telemetry
+            )
+            atomic_write_text(
+                _artifact(metrics_dir, name, "prom"),
+                telemetry.render_prometheus(),
+            )
+
+    recovery = {
+        reason: {
+            "count": len(durations),
+            "max_fs": max(durations),
+            "mean_fs": sum(durations) // len(durations),
+        }
+        for reason, durations in sorted(checker.recovery_fs.items())
+    }
+    result: Dict[str, object] = {}
+    if telemetry is not None:
+        result["telemetry"] = {
+            "metrics_digest": telemetry.metrics_digest(),
+            "trace_digest": telemetry.trace_digest(),
+            "trace_recorded": (
+                telemetry.tracer.recorded if telemetry.tracer is not None else 0
+            ),
+        }
+    result.update({
+        "scenario": name,
+        "seed": seed,
+        "duration_fs": duration_fs,
+        "nodes": len(topology.nodes),
+        "edges": len(topology.edges),
+        "checks_run": checker.checks_run,
+        "pairs_checked": checker.pairs_checked,
+        "violations": dict(sorted(checker.counts.items())),
+        "violations_total": checker.total_violations,
+        "ticks_above_bound": checker.ticks_above_bound,
+        "time_above_bound_fs": checker.ticks_above_bound * checker.interval_fs,
+        "max_offset_excursion": int(metrics.max_abs_excursion(sample_values)),
+        "samples": len(sample_values),
+        "recovery": recovery,
+        "reconnect_recoveries": len(checker.reconnect_recoveries),
+        "faults": {
+            fault.name: fault_summaries[fault.name] for fault in faults
+        },
+        "all_synchronized": 1 if all_synchronized else 0,
+        "first_violations": [
+            violation.as_dict() for violation in checker.violations[:5]
+        ],
+    })
+    if stats_out is not None:
+        stats_out.update(
+            events=events_dispatched,
+            rounds=rounds,
+            shards=shards,
+            wall_ns=time.perf_counter_ns() - wall_start,
+        )
+    return result

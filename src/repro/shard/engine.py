@@ -1,0 +1,385 @@
+"""The per-shard simulation engine.
+
+A :class:`ShardSimulator` is the scalar :class:`~repro.sim.engine.Simulator`
+with three changes, none visible to the DTP machinery running on it:
+
+* **Serial-equivalent event keys.**  The scalar engine orders events by
+  ``(time, seq)`` with a globally increasing ``seq``.  Shards cannot
+  share a counter, so every entry instead carries the key
+  ``(time, alloc_time, alloc_ctr, src)``: the dispatch instant that
+  allocated it, a per-instant counter, and a source id.  Within one
+  shard this reproduces serial ``seq`` order exactly (later allocation
+  instants have larger keys; same-instant allocations keep their
+  order).  Across shards the key is a total order that can differ from
+  a serial run's only when two events on *different* shards are
+  allocated at the same femtosecond and fire at the same femtosecond —
+  a measure-zero coincidence on distinct skewed tick grids, absent from
+  every builtin scenario (and pinned by the equivalence tests).
+  Root-phase allocations (scenario construction, before time starts)
+  use ``(-1, ordinal, 0)`` so all shards number them identically.
+
+* **Safety classification.**  Every scheduled callback is classified at
+  push time with a conservative bound on how soon it could cause a
+  cross-shard arrival (its ``delta``): transmit-path events on a
+  boundary port get that channel's lookahead; events that can cascade
+  into a JOIN (the INIT family) get the shard's minimum out-channel
+  lookahead; provably local events (BEACON processing, foreign-port
+  no-ops) get ``None``.  :meth:`promise` — the null message — is the
+  min of ``time + delta`` over live entries.
+
+* **Boundary capture.**  A cut edge's ghost peer port carries a
+  :class:`BoundaryOutbox` in its ``_arrive`` slot; ``post_at`` captures
+  those arrivals (with the sender-side key, so the receiving shard
+  heaps them in exactly the serial position) instead of scheduling
+  them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..dtp import messages as dtpmsg
+from ..dtp.port import DtpPort
+from ..phy.blocks import (
+    IDLE_PAYLOAD_MASK,
+    IDLE_WIRE_BASE,
+    IDLE_WIRE_HEADER_MASK,
+)
+from ..sim.engine import _UNCANCELLABLE, Event, SimulationError, Simulator
+
+#: Message types whose processing can cascade into new transmissions
+#: (INIT -> INIT_ACK, INIT_ACK -> JOIN, JOIN -> JOINs on sibling ports).
+#: BEACON/BEACON_MSB/LOG handlers only mutate local clock state.
+UNSAFE_MESSAGE_TYPES = frozenset(
+    (
+        dtpmsg.MessageType.INIT,
+        dtpmsg.MessageType.INIT_ACK,
+        dtpmsg.MessageType.BEACON_JOIN,
+    )
+)
+
+
+def noop_link_up() -> None:
+    """Replaces ``link_up`` on foreign ports: they stay DOWN forever."""
+
+
+class BoundaryOutbox:
+    """Marker installed as a ghost peer's ``_arrive``; never called.
+
+    ``ShardSimulator.post_at`` recognizes the instance and records the
+    would-be arrival in the shard outbox instead of scheduling it.
+    """
+
+    __slots__ = ("dest_shard", "dest_key")
+
+    def __init__(self, dest_shard: int, dest_key: Tuple[str, str]) -> None:
+        self.dest_shard = dest_shard
+        self.dest_key = dest_key
+
+    def __call__(self, *args: Any) -> None:  # pragma: no cover - marker
+        raise SimulationError("BoundaryOutbox must be captured, not called")
+
+
+def payload_unsafe(bits56: int) -> bool:
+    """Would processing these 56 payload bits enter the INIT family?"""
+    try:
+        mtype, _ = dtpmsg.decode_type_payload(bits56)
+    except dtpmsg.MessageError:
+        return False
+    return mtype in UNSAFE_MESSAGE_TYPES
+
+
+def wire_bits_unsafe(wire_bits: Optional[int]) -> bool:
+    """Classify a wire block exactly as the receiver's ``_arrive`` will."""
+    if wire_bits is None:
+        return False
+    if wire_bits & IDLE_WIRE_HEADER_MASK != IDLE_WIRE_BASE:
+        return False
+    return payload_unsafe(wire_bits & IDLE_PAYLOAD_MASK)
+
+
+_TRANSMIT_NOW = DtpPort._transmit_now
+_ARRIVE = DtpPort._arrive
+_PROCESS = DtpPort._process
+_SEND_INIT = DtpPort._send_init
+_BEACON_TIMEOUT = DtpPort._beacon_timeout
+_LINK_UP = DtpPort.link_up
+
+
+class ShardSimulator(Simulator):
+    """Scalar engine + window execution for one shard.
+
+    Heap entries are ``(time, alloc_time, alloc_ctr, src, fn, args,
+    event, delta)``; the 4-int key prefix is unique, so heap comparisons
+    never reach ``fn``.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        owned_nodes: Iterable[str],
+        chan_lookahead: Dict[str, int],
+        min_out_lookahead: Optional[int],
+    ) -> None:
+        super().__init__()
+        self.shard_id = shard_id
+        self._owned = frozenset(owned_nodes)
+        self._chan_la = dict(chan_lookahead)
+        self._min_la = min_out_lookahead
+        self._root = False
+        self._root_ord = 0
+        #: Allocation instant + per-instant counter (the serial ``seq``
+        #: split into a comparable pair).
+        self._alloc_time = 0
+        self._alloc_ctr = 0
+        #: Captured boundary arrivals of the current window:
+        #: (dest_shard, dest_key, arrival_fs, wire_bits, alloc_time,
+        #: alloc_ctr, src, unsafe).
+        self.outbox: List[tuple] = []
+        self.dispatched = 0
+        #: Key of the event being dispatched + per-dispatch record
+        #: ordinal — the global position of every trace record and
+        #: checker call emitted during that dispatch.
+        self._record_key: Tuple[int, int, int, int] = (0, -1, 0, 0)
+        self._record_ord = 0
+
+    # ------------------------------------------------------------------
+    # Root phase: scenario construction
+    # ------------------------------------------------------------------
+    def begin_root(self) -> None:
+        self._root = True
+        self._root_ord = 0
+
+    def end_root(self) -> None:
+        self._root = False
+
+    @property
+    def root_ordinal(self) -> int:
+        return self._root_ord
+
+    # ------------------------------------------------------------------
+    # Allocation + classification
+    # ------------------------------------------------------------------
+    def _alloc_key(self) -> Tuple[int, int, int]:
+        if self._root:
+            ordinal = self._root_ord
+            self._root_ord = ordinal + 1
+            return (-1, ordinal, 0)
+        ctr = self._alloc_ctr
+        self._alloc_ctr = ctr + 1
+        return (self._alloc_time, ctr, self.shard_id)
+
+    def _classify(self, fn: Callable[..., Any], args: tuple) -> Optional[int]:
+        """Delta for the promise: None = provably shard-local."""
+        func = getattr(fn, "__func__", None)
+        if func is None:
+            return None if fn is noop_link_up else self._min_la
+        if func is _ARRIVE:
+            return self._min_la if wire_bits_unsafe(args[0]) else None
+        if func is _PROCESS:
+            return self._min_la if payload_unsafe(args[0]) else None
+        port = fn.__self__
+        if func is _TRANSMIT_NOW:
+            lookahead = self._chan_la.get(port.name)
+            if lookahead is not None:
+                return lookahead
+            if port.device.name not in self._owned:
+                return None  # foreign port: DOWN forever, body no-ops
+            return self._min_la if args[0] in UNSAFE_MESSAGE_TYPES else None
+        if func is _BEACON_TIMEOUT:
+            # Boundary beacon timeouts transmit across the cut; internal
+            # ones only schedule (safe) BEACON/MSB transmissions.
+            return self._chan_la.get(port.name)
+        if func is _SEND_INIT or func is _LINK_UP:
+            lookahead = self._chan_la.get(port.name)
+            if lookahead is not None:
+                return lookahead
+            if port.device.name not in self._owned:
+                return None
+            return self._min_la
+        # Unknown callbacks (fault callbacks, traffic hooks): assume the
+        # worst — they may transmit on any out-channel immediately.
+        return self._min_la
+
+    # ------------------------------------------------------------------
+    # Scheduling overrides (8-tuple entries)
+    # ------------------------------------------------------------------
+    def schedule(self, delay_fs: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if delay_fs < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_fs})")
+        return self.schedule_at(self._now + delay_fs, fn, *args)
+
+    def schedule_at(self, time_fs: int, fn: Callable[..., Any], *args: Any) -> Event:
+        if time_fs < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_fs} fs; current time is {self._now} fs"
+            )
+        delta = self._classify(fn, args)
+        alloc_t, ctr, src = self._alloc_key()
+        event = Event(time_fs, ctr, fn, args)
+        heapq.heappush(
+            self._queue, (time_fs, alloc_t, ctr, src, fn, args, event, delta)
+        )
+        self._pending += 1
+        return event
+
+    def post_at(self, time_fs: int, fn: Callable[..., Any], *args: Any) -> None:
+        if type(fn) is BoundaryOutbox:
+            # A boundary transmission's arrival: capture it (with the
+            # sender-side key it would have carried) for the coordinator.
+            alloc_t, ctr, src = self._alloc_key()
+            wire_bits = args[0]
+            self.outbox.append(
+                (
+                    fn.dest_shard,
+                    fn.dest_key,
+                    time_fs,
+                    wire_bits,
+                    alloc_t,
+                    ctr,
+                    src,
+                    wire_bits_unsafe(wire_bits),
+                )
+            )
+            return
+        if time_fs < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_fs} fs; current time is {self._now} fs"
+            )
+        delta = self._classify(fn, args)
+        alloc_t, ctr, src = self._alloc_key()
+        heapq.heappush(
+            self._queue,
+            (time_fs, alloc_t, ctr, src, fn, args, _UNCANCELLABLE, delta),
+        )
+        self._pending += 1
+
+    def _compact(self) -> None:
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[6].cancelled]
+        heapq.heapify(queue)
+        self._cancelled_in_queue = 0
+
+    # ------------------------------------------------------------------
+    # Cross-shard insertion and probes
+    # ------------------------------------------------------------------
+    def insert_arrival(
+        self,
+        port: DtpPort,
+        arrival_fs: int,
+        wire_bits: Optional[int],
+        alloc_t: int,
+        ctr: int,
+        src: int,
+        unsafe: bool,
+    ) -> None:
+        """Heap a boundary arrival under its sender-side key."""
+        delta = self._min_la if unsafe else None
+        heapq.heappush(
+            self._queue,
+            (
+                arrival_fs,
+                alloc_t,
+                ctr,
+                src,
+                port._arrive,
+                (wire_bits,),
+                _UNCANCELLABLE,
+                delta,
+            ),
+        )
+        self._pending += 1
+
+    def push_probe(
+        self, time_fs: int, fn: Callable[[], None], alloc_time: int, src: int
+    ) -> None:
+        """Schedule a merge probe under the explicit key
+        ``(time, alloc_time, -1, src)`` — the position the serial run's
+        corresponding event (checker tick, sampler) occupies: allocated
+        at the previous grid instant, before any real allocation there
+        (``-1 < ctr``)."""
+        heapq.heappush(
+            self._queue,
+            (time_fs, alloc_time, -1, src, fn, (), _UNCANCELLABLE, None),
+        )
+        self._pending += 1
+
+    def push_root_probe(self, time_fs: int, fn: Callable[[], None]) -> None:
+        """Schedule a probe during the root phase, consuming the same
+        root ordinal the serial run's schedule_at would have."""
+        if not self._root:
+            raise SimulationError("push_root_probe outside the root phase")
+        alloc_t, ctr, src = self._alloc_key()
+        heapq.heappush(
+            self._queue, (time_fs, alloc_t, ctr, src, fn, (), _UNCANCELLABLE, None)
+        )
+        self._pending += 1
+
+    # ------------------------------------------------------------------
+    # Window execution
+    # ------------------------------------------------------------------
+    def promise(self) -> Optional[int]:
+        """Earliest time this shard could still affect another shard
+        (the null message).  None: cannot affect anyone, ever, from the
+        current queue."""
+        best: Optional[int] = None
+        for entry in self._queue:
+            delta = entry[7]
+            if delta is None or entry[6].cancelled:
+                continue
+            bound = entry[0] + delta
+            if best is None or bound < best:
+                best = bound
+        return best
+
+    def run_window(self, limit_fs: int) -> None:
+        """Run every event strictly before ``limit_fs``."""
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            entry = queue[0]
+            when = entry[0]
+            if when >= limit_fs:
+                break
+            pop(queue)
+            if entry[6].cancelled:
+                self._cancelled_in_queue -= 1
+                continue
+            self._pending -= 1
+            self._now = when
+            # Monotone per-instant counter reset: never reset downward,
+            # so a late boundary arrival revisiting an instant cannot
+            # collide with keys already allocated there.
+            if when > self._alloc_time:
+                self._alloc_time = when
+                self._alloc_ctr = 0
+            self._record_key = (when, entry[1], entry[2], entry[3])
+            self._record_ord = 0
+            self.dispatched += 1
+            entry[4](*entry[5])
+        if limit_fs > self._now:
+            self._now = limit_fs
+
+    def take_record_slot(self) -> Tuple[Tuple[int, int, int, int], int]:
+        """Key + ordinal for the next record/call of the current dispatch."""
+        ordinal = self._record_ord
+        self._record_ord = ordinal + 1
+        return self._record_key, ordinal
+
+    def drain_outbox(self) -> List[tuple]:
+        outbox = self.outbox
+        self.outbox = []
+        return outbox
+
+    # ------------------------------------------------------------------
+    # Forbidden scalar entry points
+    # ------------------------------------------------------------------
+    def run_until(self, time_fs: int) -> None:
+        raise SimulationError("ShardSimulator runs via run_window()")
+
+    def step(self) -> bool:
+        raise SimulationError("ShardSimulator runs via run_window()")
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        raise SimulationError("ShardSimulator runs via run_window()")

@@ -1,0 +1,143 @@
+"""``run_scenario``-compatible entry point for the sharded backend.
+
+:func:`run_sharded_scenario` validates the spec exactly as
+:func:`~repro.faultlab.campaign.run_scenario` does, rejects the features
+the sharded backend cannot honor (dispatch profiling, observers, custom
+engines, ``raise_on_violation`` — all of which need one live process to
+mean anything), partitions the topology, and drives the coordinator over
+the chosen transport.  The result dict and every telemetry artifact are
+byte-identical to the serial run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..faultlab.campaign import (
+    CampaignError,
+    _SPEC_KEYS,
+    build_fault,
+    build_topology,
+)
+from ..phy.specs import PHY_10G
+from ..resilience import default_jobs
+from ..sim.engine import Simulator
+from ..telemetry import Telemetry
+from .coordinator import run_sharded
+from .partition import MARGIN_PERIODS, _atoms, build_plan
+from .transport import TRANSPORTS
+
+
+def default_margin_fs() -> int:
+    """The boundary lookahead margin (see ``docs/SHARDING.md``)."""
+    return MARGIN_PERIODS * PHY_10G.period_fs
+
+
+def _build_faults(spec: Dict[str, object]) -> list:
+    faults = []
+    seen_names = set()
+    for index, fault_spec in enumerate(spec.get("faults", [])):
+        fault = build_fault(fault_spec, index)
+        if fault.name in seen_names:
+            raise CampaignError(f"duplicate fault name {fault.name!r}")
+        seen_names.add(fault.name)
+        faults.append(fault)
+    return faults
+
+
+def resolve_shards(
+    spec: Dict[str, object], shards: Optional[int] = None
+) -> int:
+    """The shard count a scenario will actually run with.
+
+    ``None`` (the CLI default) resolves to the smaller of the machine's
+    usable CPU count (:func:`repro.resilience.default_jobs`, affinity
+    aware) and the scenario's cut-partition count — never more workers
+    than the topology can be cut into.  An explicit request is returned
+    as-is; :func:`~repro.shard.partition.build_plan` rejects it with a
+    clear error if it exceeds the partition count.
+    """
+    if shards is not None:
+        return shards
+    topology = build_topology(spec["topology"])
+    atoms = _atoms(topology, _build_faults(spec))
+    return max(1, min(default_jobs(), len(atoms)))
+
+
+def run_sharded_scenario(
+    spec: Dict[str, object],
+    seed: int = 0,
+    sim_factory: Callable[[], object] = Simulator,
+    telemetry: Optional[Telemetry] = None,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+    profile_dispatch: bool = False,
+    observers: Optional[List[Callable[..., object]]] = None,
+    shards: Optional[int] = None,
+    transport: str = "process",
+    stats_out: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Run one scenario under ``--backend sharded``.
+
+    Accepts :func:`~repro.faultlab.campaign.run_scenario`'s signature so
+    the campaign layer can delegate verbatim, plus ``shards`` (``None``:
+    resolve via :func:`resolve_shards`), ``transport`` (``"process"`` or
+    ``"inline"``), and ``stats_out`` (a dict that receives events/rounds/
+    wall-time statistics without touching the byte-stable result).
+    """
+    unknown = set(spec) - _SPEC_KEYS
+    if unknown:
+        raise CampaignError(f"unknown scenario keys: {sorted(unknown)}")
+    if "topology" not in spec or "duration_fs" not in spec:
+        raise CampaignError("scenario needs 'topology' and 'duration_fs'")
+    if int(spec["duration_fs"]) <= 0:
+        raise CampaignError("duration_fs must be positive")
+    if observers:
+        raise CampaignError("observers require the scalar backend")
+    if sim_factory is not Simulator:
+        raise CampaignError(
+            "custom sim_factory requires a single-process backend"
+        )
+    if profile_dispatch or (telemetry is not None and telemetry.profile is not None):
+        raise CampaignError(
+            "profile_dispatch is per-engine and cannot compose across "
+            "shards; use --backend scalar to profile"
+        )
+    if dict(spec.get("checker", {})).get("raise_on_violation"):
+        raise CampaignError(
+            "checker.raise_on_violation needs the live single-process "
+            "checker; the sharded backend replays checks after the fact"
+        )
+
+    if telemetry is None and (trace_dir or metrics_dir or flight_dir):
+        telemetry = Telemetry()
+
+    topology = build_topology(spec["topology"])
+    faults = _build_faults(spec)
+    shard_count = (
+        resolve_shards(spec, shards) if shards is None else shards
+    )
+    plan = build_plan(topology, faults, shard_count, default_margin_fs())
+
+    factory = TRANSPORTS.get(transport)
+    if factory is None:
+        raise CampaignError(
+            f"unknown shard transport {transport!r}; known: "
+            f"{sorted(TRANSPORTS)}"
+        )
+    channel = factory()
+    try:
+        return run_sharded(
+            spec,
+            seed,
+            plan,
+            channel,
+            telemetry=telemetry,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
+            flight_dir=flight_dir,
+            stats_out=stats_out,
+        )
+    finally:
+        channel.close()

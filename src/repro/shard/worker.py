@@ -1,0 +1,365 @@
+"""One shard of a sharded scenario run.
+
+A :class:`ShardWorker` constructs the *entire* scenario — topology,
+devices, ports, faults — exactly like the serial
+:func:`~repro.faultlab.campaign.run_scenario` does, on its own
+:class:`~repro.shard.engine.ShardSimulator`.  Replicating construction
+(rather than building only the owned slice) is what makes determinism
+cheap: every shard draws the same skews from the same name-keyed
+streams, interns the same port names, and numbers the same root events,
+so nothing about ownership leaks into any random draw or event key.
+Ownership then decides behavior, not structure:
+
+* foreign ports never come up (``link_up`` is swapped for a no-op
+  before ``network.start()``), so no foreign event ever fires;
+* cut-edge ghost peers carry a
+  :class:`~repro.shard.engine.BoundaryOutbox` in their ``_arrive``
+  slot, so boundary transmissions are captured for the coordinator
+  instead of delivered locally;
+* faults arm against the real network on their pinned shard and
+  against a :class:`GhostNetworkProxy` (no-op ``down_link``/``up_link``,
+  no checker) everywhere else — same stream draws, same root ordinals,
+  no foreign side effects that matter.
+
+Instead of a real :class:`~repro.faultlab.invariants.InvariantChecker`
+(whose pair checks need *every* node's counter), the worker runs cheap
+probes on the checker/sampler grids that snapshot owned counters and
+port states, and a stub checker that logs fault quarantine/release
+calls; the coordinator replays both against a real checker over the
+merged state, in exact serial event order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..clocks.oscillator import ConstantSkew
+from ..dtp.network import DtpNetwork
+from ..dtp.port import DtpPortConfig
+from ..faultlab.campaign import build_fault, build_topology
+from ..sim.randomness import RandomStreams
+from ..telemetry import Telemetry
+from ..telemetry.registry import CounterFamily
+from .engine import BoundaryOutbox, ShardSimulator, noop_link_up
+from .partition import ShardPlan, fault_pin_nodes
+
+
+class ShardTraceRecorder:
+    """Tracer stand-in: interns subjects, stamps records with their
+    dispatch key + per-dispatch ordinal instead of ringing them.
+
+    The subject table is frozen after construction (ports intern at
+    construction; every other subject is interned coordinator-side
+    during replay), so the coordinator translates local ids once from
+    the handshake table.
+    """
+
+    def __init__(self, engine: ShardSimulator) -> None:
+        self._engine = engine
+        self._names: List[str] = []
+        self._ids: Dict[str, int] = {}
+        self.round_records: List[tuple] = []
+
+    def subject_id(self, name: str) -> int:
+        sid = self._ids.get(name)
+        if sid is None:
+            sid = len(self._names)
+            self._ids[name] = sid
+            self._names.append(name)
+        return sid
+
+    def record(self, time_fs: int, kind: int, subject: int, a: int = 0, b: int = 0) -> None:
+        key, ordinal = self._engine.take_record_slot()
+        self.round_records.append(
+            (time_fs, key[1], key[2], key[3], ordinal, kind, subject, a, b)
+        )
+
+    @property
+    def names(self) -> List[str]:
+        return self._names
+
+    def drain(self) -> List[tuple]:
+        records = self.round_records
+        self.round_records = []
+        return records
+
+
+class _StubChecker:
+    """The checker surface fault models call; logs calls for replay."""
+
+    def __init__(self, engine: ShardSimulator, interval_fs: int, start_fs: int) -> None:
+        self._engine = engine
+        self.interval_fs = interval_fs
+        self.start_fs = start_fs
+        self.round_calls: List[tuple] = []
+
+    def _log(self, payload: tuple) -> None:
+        key, ordinal = self._engine.take_record_slot()
+        self.round_calls.append((key[0], key[1], key[2], key[3], ordinal, payload))
+
+    def quarantine(self, nodes, reason: str) -> None:
+        self._log(("quarantine", list(nodes), str(reason)))
+
+    def release(self, nodes, reason: str, wait_for=None) -> None:
+        self._log(
+            (
+                "release",
+                list(nodes),
+                str(reason),
+                None if wait_for is None else list(wait_for),
+            )
+        )
+
+    def notify_counter_reset(self, node: str) -> None:
+        self._log(("notify_counter_reset", node))
+
+    def drain(self) -> List[tuple]:
+        calls = self.round_calls
+        self.round_calls = []
+        return calls
+
+
+class GhostNetworkProxy:
+    """The network a *foreign* fault arms against.
+
+    Delegates reads (``sim``, ``devices``, ``ports``, ``topology``) to
+    the real replicated network — foreign fault callbacks must draw the
+    same streams and allocate the same event keys as on their pinned
+    shard — but swallows link mutations: only the pinned shard, which
+    owns both endpoint atoms, actually bounces ports.
+    """
+
+    def __init__(self, network: DtpNetwork) -> None:
+        self._network = network
+
+    def __getattr__(self, name: str):
+        return getattr(self._network, name)
+
+    def down_link(self, a: str, b: str) -> None:
+        pass
+
+    def up_link(self, a: str, b: str) -> None:
+        pass
+
+
+class ShardWorker:
+    """Build and drive one shard of a scenario."""
+
+    def __init__(
+        self,
+        spec: Dict[str, object],
+        seed: int,
+        shard_id: int,
+        plan: ShardPlan,
+        telemetry_on: bool,
+        trace_on: bool,
+    ) -> None:
+        self.spec = spec
+        self.shard_id = shard_id
+        self.plan = plan
+        owned = plan.owned_nodes[shard_id]
+        self._owned = frozenset(owned)
+
+        engine = ShardSimulator(
+            shard_id,
+            owned,
+            plan.chan_lookahead(shard_id),
+            plan.min_out_lookahead(shard_id),
+        )
+        self.engine = engine
+        self.recorder: Optional[ShardTraceRecorder] = None
+        telemetry = None
+        if telemetry_on:
+            telemetry = Telemetry(trace=trace_on)
+            if trace_on:
+                self.recorder = ShardTraceRecorder(engine)
+                telemetry.tracer = self.recorder
+
+        engine.begin_root()
+        streams = RandomStreams(root_seed=seed)
+        topology = build_topology(spec["topology"])
+        config = DtpPortConfig(**spec.get("config", {}))
+        skew_ppm = spec.get("skew_ppm")
+        skews = (
+            {node: ConstantSkew(float(ppm)) for node, ppm in skew_ppm.items()}
+            if skew_ppm
+            else None
+        )
+        faults = [
+            build_fault(fault_spec, index)
+            for index, fault_spec in enumerate(spec.get("faults", []))
+        ]
+        tainted = (
+            frozenset().union(*(f.tainted_nodes() for f in faults))
+            if faults
+            else frozenset()
+        )
+        network = DtpNetwork(
+            engine,
+            topology,
+            streams,
+            config=config,
+            skews=skews,
+            telemetry=telemetry,
+            backend="scalar",
+            tainted_nodes=tainted,
+        )
+        self.network = network
+        self.topology = topology
+        self.faults = faults
+        #: Owned nodes in topology order — the coordinator merges
+        #: per-shard bundles keyed this way.
+        self._owned_order = [n for n in topology.nodes if n in self._owned]
+        self._telemetry = telemetry
+
+        # Mirror InvariantChecker's interval/start derivation; its first
+        # tick consumes root ordinal 0, exactly like the serial
+        # constructor's schedule_at.
+        checker_kwargs = dict(spec.get("checker", {}))
+        interval_fs = checker_kwargs.get("interval_fs")
+        if interval_fs is None:
+            interval_fs = config.beacon_interval_ticks * network.spec.period_fs
+        self.interval_fs = int(interval_fs)
+        start_fs = int(checker_kwargs.get("start_fs", 0))
+        self.stub_checker = _StubChecker(engine, self.interval_fs, start_fs)
+        self._checker_bundles: Dict[int, dict] = {}
+        self._sampler_bundles: Dict[int, dict] = {}
+        self._checker_idx = 0
+        self._sampler_idx = 0
+        self.checker_root_ordinal = engine.root_ordinal
+        engine.push_root_probe(max(start_fs, 0), self._checker_probe)
+
+        # Ownership suppression must precede network.start(): start()
+        # binds each port's link_up attribute into its event at schedule
+        # time.
+        for (a, _b), port in network.ports.items():
+            if a not in self._owned:
+                port.link_up = noop_link_up
+        for channel in plan.channels_from(shard_id):
+            ghost = network.ports[channel.dest_key]
+            ghost._arrive = BoundaryOutbox(channel.dest_shard, channel.dest_key)
+
+        from ..faultlab.faults import FaultContext
+
+        pinned_ctx = FaultContext(
+            network=network, streams=streams, checker=self.stub_checker
+        )
+        ghost_ctx = FaultContext(
+            network=GhostNetworkProxy(network), streams=streams, checker=None
+        )
+        self.pinned_faults = []
+        for fault in faults:
+            pin_shard = plan.node_shard[fault_pin_nodes(fault, topology)[0]]
+            if pin_shard == shard_id:
+                self.pinned_faults.append(fault)
+                fault.arm(pinned_ctx)
+            else:
+                fault.arm(ghost_ctx)
+
+        network.start()
+
+        self.sample_interval_fs = int(
+            spec.get("sample_interval_fs", self.interval_fs * 4)
+        )
+        self.sampler_root_ordinal = engine.root_ordinal
+        engine.push_root_probe(0, self._sampler_probe)
+        engine.end_root()
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+    def _capture(self, t_fs: int) -> dict:
+        devices = self.network.devices
+        counters = {
+            name: devices[name].global_counter(t_fs)
+            for name in self._owned_order
+        }
+        ports = {
+            key: (port.synchronized, port.state.value)
+            for key, port in self.network.ports.items()
+            if key[0] in self._owned
+        }
+        return {"counters": counters, "ports": ports}
+
+    def _checker_probe(self) -> None:
+        t = self.engine.now
+        self._checker_bundles[self._checker_idx] = self._capture(t)
+        self._checker_idx += 1
+        self.engine.push_probe(
+            t + self.interval_fs, self._checker_probe, alloc_time=t, src=0
+        )
+
+    def _sampler_probe(self) -> None:
+        t = self.engine.now
+        self._sampler_bundles[self._sampler_idx] = self._capture(t)
+        self._sampler_idx += 1
+        self.engine.push_probe(
+            t + self.sample_interval_fs, self._sampler_probe, alloc_time=t, src=1
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def handshake(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "promise": self.engine.promise(),
+            "subjects": list(self.recorder.names) if self.recorder else [],
+            "checker_root_ordinal": self.checker_root_ordinal,
+            "sampler_root_ordinal": self.sampler_root_ordinal,
+            "interval_fs": self.interval_fs,
+            "start_fs": self.stub_checker.start_fs,
+            "sample_interval_fs": self.sample_interval_fs,
+        }
+
+    def service(self, grant_fs: int, arrivals: List[tuple]) -> dict:
+        engine = self.engine
+        ports = self.network.ports
+        for _dest, dest_key, arrival_fs, wire_bits, alloc_t, ctr, src, unsafe in arrivals:
+            engine.insert_arrival(
+                ports[tuple(dest_key)], arrival_fs, wire_bits,
+                alloc_t, ctr, src, unsafe,
+            )
+        engine.run_window(grant_fs)
+        checker_bundles = self._checker_bundles
+        sampler_bundles = self._sampler_bundles
+        self._checker_bundles = {}
+        self._sampler_bundles = {}
+        return {
+            "promise": engine.promise(),
+            "outbox": engine.drain_outbox(),
+            "records": self.recorder.drain() if self.recorder else [],
+            "calls": self.stub_checker.drain(),
+            "checker_bundles": checker_bundles,
+            "sampler_bundles": sampler_bundles,
+        }
+
+    def finalize(self, duration_fs: int) -> dict:
+        counters = {}
+        registry = self._telemetry.registry if self._telemetry else None
+        if registry is not None:
+            for family in registry.families():
+                if not isinstance(family, CounterFamily):
+                    continue
+                cells = [
+                    (key, child.value)
+                    for key, child in family.samples()
+                    if child.value
+                ]
+                if cells:
+                    counters[family.name] = cells
+        owned_ports = [
+            key for key in self.network.ports if key[0] in self._owned
+        ]
+        return {
+            "final": self._capture(duration_fs),
+            "all_synchronized": all(
+                self.network.ports[key].synchronized for key in owned_ports
+            ),
+            "fault_summaries": {
+                fault.name: {"kind": fault.kind, **fault.summary()}
+                for fault in self.pinned_faults
+            },
+            "metric_counters": counters,
+            "events_dispatched": self.engine.dispatched,
+        }

@@ -193,9 +193,15 @@ def test_render_ends_with_campaign_digest():
 
 
 def test_cli_list(capsys):
+    from repro.faultlab.scenarios import FABRIC_SCENARIOS
+
     assert faultlab_main(["--list"]) == 0
     out = capsys.readouterr().out.splitlines()
-    assert out == list(BUILTIN_SCENARIOS)
+    assert out[: len(BUILTIN_SCENARIOS)] == list(BUILTIN_SCENARIOS)
+    assert out[len(BUILTIN_SCENARIOS) :] == [
+        f"{name}  (fabric-scale; by explicit name only)"
+        for name in FABRIC_SCENARIOS
+    ]
 
 
 def test_cli_json_output_is_deterministic(capsys):
@@ -218,4 +224,5 @@ def test_umbrella_cli_dispatches(capsys):
     from repro.cli import main as repro_main
 
     assert repro_main(["faultlab", "--list"]) == 0
-    assert capsys.readouterr().out.splitlines() == list(BUILTIN_SCENARIOS)
+    out = capsys.readouterr().out.splitlines()
+    assert out[: len(BUILTIN_SCENARIOS)] == list(BUILTIN_SCENARIOS)

@@ -149,6 +149,42 @@ class TestScenarioCard:
         assert scenario_settings("baseline", base) is base
 
 
+class TestFabricTrack:
+    """The clos-fabric race card: 128 port directions, diameter 4."""
+
+    @pytest.fixture(scope="class")
+    def races(self):
+        return run_race_campaign(
+            race_specs(("clos-fabric",), quick=True), base_seed=0
+        )
+
+    def test_pinned_deterministic_ranking(self, races):
+        """quick, seed 0: the step-free controller wins the fabric, the
+        daemon's coarse steps lose it, and congestion marking does not
+        hurt the PI servo.  Pinned — a ranking flip on the same seed
+        means a discipline or the fabric scenario changed behavior."""
+        entries = races["clos-fabric"]["entries"]
+        assert sorted(entries) == sorted(DEFAULT_DISCIPLINES)
+        offsets = {
+            label: entry["max_abs_offset_fs"]
+            for label, entry in entries.items()
+        }
+        assert offsets["skewless"] < min(
+            offsets["pi"], offsets["congestion"], offsets["daemon"]
+        )
+        assert offsets["daemon"] > max(
+            offsets["skewless"], offsets["pi"], offsets["congestion"]
+        )
+        assert offsets["congestion"] <= offsets["pi"]
+
+    def test_card_rendered_in_report(self, races):
+        report = "\n".join(render_race_report(races))
+        assert "## clos-fabric" in report
+        card = report.split("## clos-fabric", 1)[1].split("## ")[0]
+        assert "| 1 | skewless |" in card
+        assert "| 4 | daemon |" in card
+
+
 class TestCli:
     def test_cli_report_deterministic(self, capsys, tmp_path):
         argv = [
