@@ -22,7 +22,10 @@ and enforces the regression guards:
   20% of that run's own wall time, recorded under the ``"insight"`` key;
 * the fastpath guards: the batched backend must stay byte-identical to
   the scalar oracle on Fig. 6a while beating it on wall clock, recorded
-  under the ``"fastpath"`` key.
+  under the ``"fastpath"`` key;
+* the link-supervision guard: ``repro.linkhealth`` enabled but idle on
+  the fault-free Fig. 6a run must stay bit-identical and within 5% of
+  the unsupervised wall clock, recorded under the ``"linkhealth"`` key.
 
 The resulting ``BENCH_core.json`` (repo root) records the numbers so the
 perf trajectory is tracked across PRs::
@@ -125,6 +128,18 @@ def test_perf_core_speedup_and_bench_json():
     assert one >= 0.2, (
         f"single-shard run {one:.2f}x of serial: coordination overhead "
         "regressed far beyond the protocol's known cost"
+    )
+    # Link-supervision guard: idle supervisors on the fault-free Fig. 6a
+    # run must cost at most 5% of wall clock (they arm one watchdog per
+    # direction and otherwise only read counters) and must not change a
+    # single output byte.  collect() already asserted the digest; the
+    # ratio uses interleaved min-of-N walls, so it is host-noise robust.
+    linkhealth = bench["linkhealth"]
+    assert linkhealth["bit_identical_to_unsupervised"]
+    supervised_ratio = linkhealth["supervised_over_unsupervised"]
+    assert supervised_ratio <= 1.05, (
+        f"idle link supervision costs {supervised_ratio:.1%} of the "
+        "unsupervised Fig. 6a run (budget: 5%)"
     )
     if shard["usable_cpus"] >= 4:
         four = shard["shards"]["4"]["speedup_vs_serial"]

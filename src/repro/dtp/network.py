@@ -31,7 +31,7 @@ from ..sim.engine import Simulator
 from ..sim.randomness import RandomStreams
 from ..network.topology import Topology
 from .device import DtpDevice
-from .port import DtpPort, DtpPortConfig, PortState
+from .port import DtpPort, DtpPortConfig
 
 #: Factory signature: (edge index, "a->b" direction label) -> TrafficModel.
 TrafficFactory = Callable[[int, str], TrafficModel]
@@ -65,6 +65,7 @@ class DtpNetwork:
         telemetry=None,
         backend: str = "scalar",
         tainted_nodes: Optional[frozenset] = None,
+        linkhealth=None,
     ) -> None:
         if backend not in ("scalar", "batched"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -163,6 +164,25 @@ class DtpNetwork:
             for port in self.ports.values():
                 port._fastpath = self.fastpath
 
+        #: Single link-state authority: faults, legacy shims and the
+        #: recovery FSM all change link state through this gate.
+        from ..linkhealth.gate import LinkGate
+
+        self.gate = LinkGate(self)
+        #: Link supervision (``repro.linkhealth``), strictly opt-in: the
+        #: default ``linkhealth=None`` constructs nothing and costs
+        #: nothing.  Pass True or a config/override dict to supervise.
+        self.linkhealth = None
+        if linkhealth:
+            from ..linkhealth.fsm import (
+                LinkHealthManager,
+                linkhealth_config_from_value,
+            )
+
+            self.linkhealth = LinkHealthManager(
+                self, linkhealth_config_from_value(linkhealth)
+            )
+
     def _clone_config(self) -> DtpPortConfig:
         base = self.config
         return DtpPortConfig(
@@ -212,21 +232,25 @@ class DtpNetwork:
         return all(port.synchronized for port in self.ports.values())
 
     def down_link(self, a: str, b: str) -> None:
-        """Take the a-b cable down (both directions)."""
-        self.ports[(a, b)].link_down()
-        self.ports[(b, a)].link_down()
+        """Take the a-b cable down (both directions), via the gate."""
+        self.gate.claim_down(a, b)
 
     def up_link(self, a: str, b: str) -> None:
-        """Restore the a-b cable; both ports rerun INIT and JOIN."""
-        self.ports[(a, b)].link_up()
-        self.ports[(b, a)].link_up()
+        """Heal the a-b cable (via the gate; both ports rerun INIT and
+        JOIN unless the recovery FSM still holds the link down)."""
+        self.gate.release_up(a, b)
 
     def link_is_up(self, a: str, b: str) -> bool:
         """True when neither direction of the a-b cable is DOWN."""
-        return (
-            self.ports[(a, b)].state is not PortState.DOWN
-            and self.ports[(b, a)].state is not PortState.DOWN
-        )
+        return self.gate.link_is_up(a, b)
+
+    def signal_loss(self, a: str, b: str) -> None:
+        """Asymmetric fault: the a->b direction goes dark (ports stay up)."""
+        self.gate.signal_loss(a, b)
+
+    def signal_restore(self, a: str, b: str) -> None:
+        """Heal an asymmetric loss of signal on the a->b direction."""
+        self.gate.signal_restore(a, b)
 
     # ------------------------------------------------------------------
     # True-offset measurement

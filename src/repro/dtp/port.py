@@ -312,6 +312,10 @@ class DtpPort:
         #: None).  Scalar runs pay one ``is not None`` test per beacon
         #: interval and per link_down, nothing else.
         self._fastpath = None
+        #: Link-supervision hook (``repro.linkhealth.LinkSupervisor`` or
+        #: None).  Unsupervised runs pay one ``is not None`` test at T2,
+        #: nothing else.
+        self._linkhealth = None
         self._beacon_event: Optional[Event] = None
         self._init_retry_event: Optional[Event] = None
         #: Pipeline depths, read once: the latency config is immutable
@@ -532,6 +536,8 @@ class DtpPort:
         # Network dynamics: agree on the maximum counter across the link.
         self.send_join()
         self._schedule_beacon_timeout()
+        if self._linkhealth is not None:
+            self._linkhealth.on_synchronized(self)
 
     def _schedule_beacon_timeout(self) -> None:
         tick = self.osc.ticks_at(self.sim.now)

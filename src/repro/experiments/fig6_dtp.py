@@ -84,6 +84,7 @@ def run_fig6_dtp(
     pairs: List[Tuple[str, str]] = None,
     telemetry=None,
     backend: str = "scalar",
+    linkhealth=None,
 ) -> ExperimentResult:
     """Run one heavily-loaded DTP precision experiment.
 
@@ -91,7 +92,10 @@ def run_fig6_dtp(
     default ``None`` keeps the run on the exact untraced code paths, so
     the published experiment digests are unchanged.  ``backend="batched"``
     runs on the :mod:`repro.fastpath` coordinator; the result (and its
-    digest) is byte-identical to the scalar run.
+    digest) is byte-identical to the scalar run.  ``linkhealth`` enables
+    :mod:`repro.linkhealth` supervision (True or a knob dict); on this
+    fault-free run the supervisors stay idle and the output digest is
+    unchanged — the property the ``"linkhealth"`` bench section guards.
     """
     pairs = pairs if pairs is not None else FIG6AB_PAIRS
     frame = frame_for(config.frame_name)
@@ -113,7 +117,7 @@ def run_fig6_dtp(
     port_config = DtpPortConfig(beacon_interval_ticks=beacon_interval)
     net = DtpNetwork(
         sim, topology, streams, config=port_config, telemetry=telemetry,
-        backend=backend,
+        backend=backend, linkhealth=linkhealth,
     )
     net.start()
     net.install_traffic(saturated_traffic(config.frame_name), start_tick=20_000)

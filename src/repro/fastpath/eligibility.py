@@ -49,6 +49,8 @@ def direction_ineligible_reason(
         return "fault model armed on an endpoint device"
     if port.tx_allow is not None:
         return "TX gate installed"
+    if port._linkhealth is not None and not port._linkhealth.allows_fastpath():
+        return "link supervision holding direction"
     if port.ber is not None:
         return "bit-error injection active"
     if port.config.parity or peer.config.parity:

@@ -62,6 +62,7 @@ _SPEC_KEYS = frozenset(
         "checker",
         "skew_ppm",
         "sample_interval_fs",
+        "linkhealth",
     }
 )
 
@@ -259,8 +260,13 @@ def run_scenario(
     network = DtpNetwork(
         sim, topology, streams, config=config, skews=skews, telemetry=telemetry,
         backend=backend, tainted_nodes=tainted,
+        linkhealth=spec.get("linkhealth"),
     )
     checker = InvariantChecker(network, **spec.get("checker", {}))
+    if network.linkhealth is not None:
+        # Quarantine-release handshake: rejoining links are excluded from
+        # the checker's sync subgraph until the FSM releases them.
+        network.linkhealth.bind_checker(checker)
 
     context = FaultContext(network=network, streams=streams, checker=checker)
     for fault in faults:
@@ -388,6 +394,10 @@ def run_scenario(
             violation.as_dict() for violation in checker.violations[:5]
         ],
     })
+    if network.linkhealth is not None:
+        # Only present on supervised runs so unsupervised results (and
+        # their digests) stay byte-identical to the pre-linkhealth code.
+        result["linkhealth"] = network.linkhealth.summary()
     return result
 
 

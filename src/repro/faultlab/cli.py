@@ -39,7 +39,12 @@ from .campaign import (
     run_campaign,
     run_resilient_campaign,
 )
-from .scenarios import BUILTIN_SCENARIOS, FABRIC_SCENARIOS, builtin_specs
+from .scenarios import (
+    BUILTIN_SCENARIOS,
+    FABRIC_SCENARIOS,
+    LINKHEALTH_SCENARIOS,
+    builtin_specs,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -138,6 +143,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         for name in FABRIC_SCENARIOS:
             print(f"{name}  (fabric-scale; by explicit name only)")
+        for name in LINKHEALTH_SCENARIOS:
+            print(f"{name}  (link supervision; by explicit name only)")
         return 0
 
     try:

@@ -149,6 +149,11 @@ class InvariantChecker:
         self._connected_since: Dict[Tuple[str, str], int] = {}
         self._awaiting_recovery: Dict[Tuple[str, str], int] = {}
         self._quarantined: Dict[str, str] = {}
+        #: Edges (sorted endpoint pairs) excluded from the synchronized
+        #: subgraph while link supervision holds them in recovery.  Unlike
+        #: node quarantine, an edge quarantine leaves both endpoint nodes
+        #: checkable over whatever other paths connect them.
+        self._edge_quarantined: Dict[Tuple[str, str], str] = {}
         # Per-connectivity-epoch caches: distances and the checkable pair
         # list only change when the synchronized edge set, the
         # quarantined/healing sets, or pair-connection epochs change.  On
@@ -243,6 +248,26 @@ class InvariantChecker:
         if self._m_quarantined is not None:
             self._m_quarantined.value = len(self._quarantined)
 
+    def quarantine_edge(self, a: str, b: str, reason: str) -> None:
+        """Exclude the a-b link from the synchronized subgraph.
+
+        Used by :mod:`repro.linkhealth` to hold a recovering link out of
+        the 4TD pair graph until its rejoin handshake completes.  Edge
+        quarantine is deliberately trace-silent: the supervisor already
+        emits ``EV_LINK_*`` records for the same transitions, and a second
+        event stream would double-count the incident.
+        """
+        self._check_node(a)
+        self._check_node(b)
+        self._edge_quarantined[(a, b) if a < b else (b, a)] = reason
+
+    def release_edge(self, a: str, b: str, reason: str) -> None:
+        """Re-admit the a-b link to the synchronized subgraph."""
+        del reason
+        self._check_node(a)
+        self._check_node(b)
+        self._edge_quarantined.pop((a, b) if a < b else (b, a), None)
+
     def notify_counter_reset(self, node: str) -> None:
         """A device's counter was legitimately reset (crash-and-restart)."""
         self._check_node(node)
@@ -276,8 +301,13 @@ class InvariantChecker:
         quarantined endpoints (their links carry deliberately bad data)."""
         adjacency: Dict[str, List[str]] = {name: [] for name in self._nodes}
         ports = self.network.ports
+        quarantined_edges = self._edge_quarantined
         for edge in self.network.topology.edges:
             if edge.a in self._quarantined or edge.b in self._quarantined:
+                continue
+            if quarantined_edges and (
+                (edge.a, edge.b) if edge.a < edge.b else (edge.b, edge.a)
+            ) in quarantined_edges:
                 continue
             if (
                 ports[(edge.a, edge.b)].synchronized
@@ -322,6 +352,7 @@ class InvariantChecker:
         return (
             sync_edges,
             frozenset(self._quarantined),
+            frozenset(self._edge_quarantined),
             frozenset(self._healing),
             self._conn_epoch,
             tuple(devices[name].counter_increment for name in self._nodes),
@@ -414,10 +445,13 @@ class InvariantChecker:
             name: devices[name].global_counter(now) for name in self._nodes
         }
         distances, pairs = self._epoch_state()
-        # The connected-pair set is a function of (sync edges, quarantined)
-        # alone; when that signature has not moved since the previous tick,
-        # _update_connectivity_epochs can skip its all-pairs sweep.
-        conn_sig = (self._cache_sig[0], self._cache_sig[1])
+        # The connected-pair set is a function of (sync edges, quarantined
+        # nodes, quarantined edges) alone; when that signature has not moved
+        # since the previous tick, _update_connectivity_epochs can skip its
+        # all-pairs sweep.
+        conn_sig = (
+            self._cache_sig[0], self._cache_sig[1], self._cache_sig[2]
+        )
 
         self._check_monotonic(now, counters)
         self._check_wrap_codec(now, counters)

@@ -1,0 +1,64 @@
+"""Self-healing link supervision (docs/LINKHEALTH.md).
+
+``repro.linkhealth`` watches every link of a :class:`repro.dtp.network.
+DtpNetwork` through encoding-agnostic :mod:`repro.phy.link_signal`
+adapters and drives a deterministic per-link recovery FSM::
+
+    UP -> DEGRADED -> DOWN -> RECONNECTING -> RESYNC -> UP
+
+Supervision is strictly opt-in: a network built without a ``linkhealth``
+spec constructs nothing from this package and pays nothing.  When
+active, the :class:`LinkHealthManager` owns one :class:`LinkSupervisor`
+per topology edge; detection is SpaceWire-style (a silence timeout over
+missed-beacon watchdog windows) plus hi_ber-style degrade windows,
+recovery uses bounded deterministic backoff from a named RNG stream,
+and rejoin holds the link quarantined at the
+:class:`~repro.faultlab.invariants.InvariantChecker` until a configured
+number of consecutive clean beacon intervals have passed.
+"""
+
+from .gate import ADMIN_CLAIM, LinkGate, link_key
+from .fsm import (
+    CAUSE_ADMIN,
+    CAUSE_BER,
+    CAUSE_NAMES,
+    CAUSE_NONE,
+    CAUSE_PEER,
+    CAUSE_SIGNAL_LOSS,
+    CAUSE_SILENCE,
+    LINK_DEGRADED,
+    LINK_DOWN,
+    LINK_RECONNECTING,
+    LINK_RESYNC,
+    LINK_STATE_NAMES,
+    LINK_UP,
+    DirectionHealth,
+    LinkHealthConfig,
+    LinkHealthManager,
+    LinkSupervisor,
+    linkhealth_config_from_value,
+)
+
+__all__ = [
+    "ADMIN_CLAIM",
+    "CAUSE_ADMIN",
+    "CAUSE_BER",
+    "CAUSE_NAMES",
+    "CAUSE_NONE",
+    "CAUSE_PEER",
+    "CAUSE_SIGNAL_LOSS",
+    "CAUSE_SILENCE",
+    "DirectionHealth",
+    "LINK_DEGRADED",
+    "LINK_DOWN",
+    "LINK_RECONNECTING",
+    "LINK_RESYNC",
+    "LINK_STATE_NAMES",
+    "LINK_UP",
+    "LinkGate",
+    "LinkHealthConfig",
+    "LinkHealthManager",
+    "LinkSupervisor",
+    "link_key",
+    "linkhealth_config_from_value",
+]

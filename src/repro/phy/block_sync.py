@@ -38,6 +38,10 @@ class BlockSync:
     slips: int = 0
     #: Cumulative count of hi_ber episodes (hi_ber itself clears on relock).
     hi_ber_events: int = 0
+    #: Cumulative headers observed / found invalid — the monotone counters
+    #: a :class:`repro.phy.link_signal.BlockSyncSignal` samples as deltas.
+    headers_seen: int = 0
+    invalid_headers: int = 0
     _valid_run: int = 0
     _window_blocks: int = 0
     _window_invalid: int = 0
@@ -45,6 +49,9 @@ class BlockSync:
     def push_header(self, sync_header: int) -> bool:
         """Feed one candidate 2-bit sync header; returns current lock."""
         valid = sync_header in SYNC_VALID
+        self.headers_seen += 1
+        if not valid:
+            self.invalid_headers += 1
         if not self.locked:
             if valid:
                 self._valid_run += 1

@@ -1,0 +1,222 @@
+"""Encoding-agnostic link-quality signals (``repro.linkhealth`` inputs).
+
+The recovery FSM in :mod:`repro.linkhealth.fsm` must not care whether a
+port runs 64b/66b (block lock, Clause 49), 8b/10b (comma alignment,
+Clause 36) or the abstract timing simulation: each substrate exposes the
+same three questions —
+
+* is the receive path currently usable (``signal_ok``),
+* how many error units have been seen cumulatively (``error_count``),
+* how many units have been observed at all (``unit_count``),
+
+and the supervisor reasons only about *deltas* of the two monotone
+counters over its watchdog windows.  Three adapters are provided:
+
+``BlockSyncSignal``
+    wraps :class:`repro.phy.block_sync.BlockSync` (unit = sync header).
+``Comma8b10bSignal``
+    wraps :class:`CommaAligner`, the stream-alignment state machine for
+    :class:`repro.phy.encoding_8b10b.Decoder8b10b` (unit = code-group).
+``PortStatsSignal``
+    wraps a timing-simulation ``DtpPort`` (unit = received message;
+    errors = on-wire losses plus out-of-range rejects).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .encoding_8b10b import Decoder8b10b, Encoding8b10bError, _bits
+
+#: Comma patterns in transmission order (first-sent bit = bit 0): the
+#: 7-bit singular sequence receivers align code-group boundaries on.
+COMMA_NEG = _bits("0011111")
+COMMA_POS = _bits("1100000")
+
+#: Spec bound for 8b/10b re-acquisition: after an arbitrary corrupt
+#: prefix, this many clean comma-bearing ordered sets (comma + data
+#: group) suffice to restore alignment *and* absolute running disparity.
+#: The first comma fixes both (its polarity encodes the line RD); the
+#: second confirms the boundary held for a full set.  The hypothesis
+#: property test in ``tests/test_8b10b.py`` enforces the bound.
+REALIGN_GOOD_GROUPS = 2
+
+
+class LinkSignal:
+    """Structural interface every link-quality source satisfies.
+
+    Kept as a plain base class (not ``typing.Protocol``) so it works —
+    and is cheaply isinstance-checkable — on every supported Python.
+    Adapters may subclass it or merely match its shape.
+    """
+
+    def signal_ok(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def error_count(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def unit_count(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def counts(self) -> Tuple[int, int]:
+        """``(unit_count, error_count)`` in one call.
+
+        The supervisor's watchdog samples both every window; adapters
+        with a shared underlying lookup override this to do it once.
+        """
+        return self.unit_count(), self.error_count()
+
+
+class BlockSyncSignal(LinkSignal):
+    """64b/66b adapter: block lock state + cumulative header counters."""
+
+    def __init__(self, block_sync) -> None:
+        self.block_sync = block_sync
+
+    def signal_ok(self) -> bool:
+        return bool(self.block_sync.locked and not self.block_sync.hi_ber)
+
+    def error_count(self) -> int:
+        return self.block_sync.invalid_headers
+
+    def unit_count(self) -> int:
+        return self.block_sync.headers_seen
+
+
+class CommaAligner:
+    """Bit-stream alignment state machine for the 8b/10b decoder.
+
+    :class:`Decoder8b10b` validates individual 10-bit groups but holds no
+    stream state; a real receiver must first find group boundaries (by
+    hunting the singular comma pattern) and recover the absolute running
+    disparity.  This wrapper does both: feed it raw bits in transmission
+    order and it emits decoded ``(octet, is_control)`` pairs once
+    aligned.  A code violation drops alignment again (the conservative
+    Clause 36 reading — good enough for link supervision, which only
+    needs a monotone error counter and an ``aligned`` flag).
+
+    The comma's polarity pins disparity absolutely: ``0011111`` is the
+    RD- form of K28.x's six-bit block, so the decoder's RD is *set* (not
+    inferred) whenever a comma group is consumed.
+    """
+
+    #: Bits retained while hunting so a comma spanning the previous
+    #: buffer boundary is never missed (pattern length minus one).
+    _HUNT_TAIL = 6
+
+    def __init__(self, decoder: Decoder8b10b = None) -> None:
+        self.decoder = decoder if decoder is not None else Decoder8b10b()
+        self.aligned = False
+        #: Bits discarded while hunting for a comma.
+        self.slips = 0
+        #: Alignment acquisitions (first lock and every re-lock).
+        self.realigns = 0
+        #: Cumulative groups consumed while aligned.
+        self.groups_seen = 0
+        #: Cumulative code violations (each also drops alignment).
+        self.decode_errors = 0
+        self._bits: List[int] = []
+
+    def push_bits(self, bits: Iterable[int]) -> List[Tuple[int, bool]]:
+        """Consume raw bits; return code-groups decoded along the way."""
+        self._bits.extend(1 if b else 0 for b in bits)
+        decoded: List[Tuple[int, bool]] = []
+        while True:
+            if not self.aligned and not self._hunt():
+                return decoded
+            if len(self._bits) < 10:
+                return decoded
+            group = 0
+            for index in range(10):
+                group |= self._bits[index] << index
+            del self._bits[:10]
+            if self.decoder.contains_comma(group):
+                # Comma polarity re-anchors absolute running disparity.
+                self.decoder.rd = -1 if (group & 0x7F) == COMMA_NEG else 1
+            self.groups_seen += 1
+            try:
+                decoded.append(self.decoder.decode(group))
+            except Encoding8b10bError:
+                self.decode_errors += 1
+                self.aligned = False
+
+    def _hunt(self) -> bool:
+        """Scan buffered bits for a comma; align the boundary on it."""
+        bits = self._bits
+        limit = len(bits) - 7
+        for start in range(limit + 1):
+            window = 0
+            for offset in range(7):
+                window |= bits[start + offset] << offset
+            if window in (COMMA_NEG, COMMA_POS):
+                self.slips += start
+                del bits[:start]
+                self.aligned = True
+                self.realigns += 1
+                return True
+        # No comma: keep only the tail that could still start one.
+        drop = len(bits) - self._HUNT_TAIL
+        if drop > 0:
+            self.slips += drop
+            del bits[:drop]
+        return False
+
+
+class Comma8b10bSignal(LinkSignal):
+    """8b/10b adapter: comma alignment state + code-violation counters."""
+
+    def __init__(self, aligner: CommaAligner) -> None:
+        self.aligner = aligner
+
+    def signal_ok(self) -> bool:
+        return self.aligner.aligned
+
+    def error_count(self) -> int:
+        return self.aligner.decode_errors
+
+    def unit_count(self) -> int:
+        return self.aligner.groups_seen
+
+
+class PortStatsSignal(LinkSignal):
+    """Timing-simulation adapter over one receive direction of a port.
+
+    ``unit_count`` is the number of messages of ``unit_type`` received
+    (BEACON by default — the periodic heartbeat whose silence means
+    disconnect), ``error_count`` folds together on-wire losses and
+    out-of-range rejects (the two observable symptoms of a degrading
+    link in the timing model).  Counter *cells* are re-read from the
+    stats dict on every call: binding a telemetry registry replaces
+    them, so caching cell objects here would silently read stale zeros.
+    """
+
+    def __init__(self, port, unit_type: str = "BEACON") -> None:
+        self.port = port
+        self.unit_type = unit_type
+
+    def signal_ok(self) -> bool:
+        from ..dtp.port import PortState
+
+        return self.port.state is not PortState.DOWN
+
+    def error_count(self) -> int:
+        stats = self.port.stats
+        lost = stats._lost_on_wire.value
+        rejected = stats._rejected["out_of_range"].value
+        return int(lost + rejected)
+
+    def unit_count(self) -> int:
+        cell = self.port.stats._received.get(self.unit_type)
+        return int(cell.value) if cell is not None else 0
+
+    def counts(self) -> Tuple[int, int]:
+        # One stats lookup for both counters: this runs once per watchdog
+        # window per direction, the supervision subsystem's hot path.
+        stats = self.port.stats
+        cell = stats._received.get(self.unit_type)
+        units = int(cell.value) if cell is not None else 0
+        errors = int(
+            stats._lost_on_wire.value + stats._rejected["out_of_range"].value
+        )
+        return units, errors

@@ -198,6 +198,7 @@ def run_sharded(
         telemetry=telemetry,
         backend="scalar",
         tainted_nodes=tainted,
+        linkhealth=spec.get("linkhealth"),
     )
     view = _ReplayNetwork(network)
     checker = InvariantChecker(view, **spec.get("checker", {}))
@@ -240,6 +241,10 @@ def run_sharded(
             checker.release(payload[1], payload[2], wait_for=payload[3])
         elif op == "notify_counter_reset":
             checker.notify_counter_reset(payload[1])
+        elif op == "quarantine_edge":
+            checker.quarantine_edge(payload[1], payload[2], payload[3])
+        elif op == "release_edge":
+            checker.release_edge(payload[1], payload[2], payload[3])
         else:  # pragma: no cover - worker/coordinator version skew
             raise CampaignError(f"unknown checker call {op!r}")
 
@@ -447,6 +452,21 @@ def run_sharded(
             violation.as_dict() for violation in checker.violations[:5]
         ],
     })
+    if network.linkhealth is not None:
+        # The replicated manager holds every link at its dormant default;
+        # overlay what the owning shards actually observed, keeping the
+        # serial summary()'s key iteration order.
+        reported: Dict[str, dict] = {}
+        for final in finals:
+            reported.update(final["linkhealth"])
+        manager = network.linkhealth
+        links = {}
+        for key in sorted(manager.supervisors):
+            supervisor = manager.supervisors[key]
+            links[supervisor.link] = reported.get(
+                supervisor.link, supervisor.summary()
+            )
+        result["linkhealth"] = {"links": links}
     if stats_out is not None:
         stats_out.update(
             events=events_dispatched,

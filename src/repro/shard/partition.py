@@ -28,13 +28,16 @@ from ..faultlab.campaign import CampaignError
 from ..faultlab.faults import (
     BeaconSuppression,
     BerBurst,
+    BerRamp,
     FaultModel,
+    FlapStorm,
     LinkFlap,
     NodeCrash,
     OscillatorGlitch,
     OscillatorStep,
     Partition,
     RunawayQuarantine,
+    SignalLoss,
     TwoFacedNode,
 )
 from ..network.topology import Topology
@@ -54,8 +57,17 @@ def fault_pin_nodes(fault: FaultModel, topology: Topology) -> Tuple[str, ...]:
     (suppression, two-faced, oscillator) mutate only objects owned by
     the node's shard — the victim port lives on the node itself.
     """
-    if isinstance(fault, (LinkFlap, Partition, BerBurst)):
+    if isinstance(fault, (LinkFlap, Partition, BerBurst, BerRamp, SignalLoss)):
         return (fault.a, fault.b)
+    if isinstance(fault, FlapStorm):
+        # A storm bounces every listed link; pinning the union keeps each
+        # supervised recovery (and its gate claims) on one shard.
+        pins: List[str] = []
+        for a, b in fault.links:
+            for node in (a, b):
+                if node not in pins:
+                    pins.append(node)
+        return tuple(pins)
     if isinstance(fault, NodeCrash):
         return (fault.node, *topology.neighbors(fault.node))
     if isinstance(

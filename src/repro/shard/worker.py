@@ -113,6 +113,12 @@ class _StubChecker:
     def notify_counter_reset(self, node: str) -> None:
         self._log(("notify_counter_reset", node))
 
+    def quarantine_edge(self, a: str, b: str, reason: str) -> None:
+        self._log(("quarantine_edge", a, b, str(reason)))
+
+    def release_edge(self, a: str, b: str, reason: str) -> None:
+        self._log(("release_edge", a, b, str(reason)))
+
     def drain(self) -> List[tuple]:
         calls = self.round_calls
         self.round_calls = []
@@ -139,6 +145,12 @@ class GhostNetworkProxy:
         pass
 
     def up_link(self, a: str, b: str) -> None:
+        pass
+
+    def signal_loss(self, a: str, b: str) -> None:
+        pass
+
+    def signal_restore(self, a: str, b: str) -> None:
         pass
 
 
@@ -203,6 +215,7 @@ class ShardWorker:
             telemetry=telemetry,
             backend="scalar",
             tainted_nodes=tainted,
+            linkhealth=spec.get("linkhealth"),
         )
         self.network = network
         self.topology = topology
@@ -222,6 +235,12 @@ class ShardWorker:
         self.interval_fs = int(interval_fs)
         start_fs = int(checker_kwargs.get("start_fs", 0))
         self.stub_checker = _StubChecker(engine, self.interval_fs, start_fs)
+        if network.linkhealth is not None:
+            # Supervise only links fully inside this shard (fault pinning
+            # co-locates every faulted link); edge quarantine/release go
+            # through the stub and replay against the real checker.
+            network.linkhealth.restrict(self._owned)
+            network.linkhealth.bind_checker(self.stub_checker)
         self._checker_bundles: Dict[int, dict] = {}
         self._sampler_bundles: Dict[int, dict] = {}
         self._checker_idx = 0
@@ -351,6 +370,17 @@ class ShardWorker:
         owned_ports = [
             key for key in self.network.ports if key[0] in self._owned
         ]
+        linkhealth = {}
+        manager = self.network.linkhealth
+        if manager is not None:
+            # Only live (non-dormant) supervisors report; the coordinator
+            # overlays these onto its replicated manager's dormant
+            # defaults to rebuild the serial summary.
+            linkhealth = {
+                supervisor.link: supervisor.summary()
+                for supervisor in manager.supervisors.values()
+                if not supervisor.dormant
+            }
         return {
             "final": self._capture(duration_fs),
             "all_synchronized": all(
@@ -362,4 +392,5 @@ class ShardWorker:
             },
             "metric_counters": counters,
             "events_dispatched": self.engine.dispatched,
+            "linkhealth": linkhealth,
         }

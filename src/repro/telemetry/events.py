@@ -61,6 +61,19 @@ EV_DISC_OBSERVE = 15
 #: (:data:`DISC_ACTION_CODES`), b = step size (fs) for steps, new
 #: frequency adjustment (ppb) otherwise.
 EV_DISC_ACTION = 16
+#: Link recovery FSM entered a new state (``repro.linkhealth``).
+#: subject = ``link/<a>-<b>``, a = state code (:data:`LINK_STATE_CODES`),
+#: b = cause code (:data:`LINK_CAUSE_CODES`).
+EV_LINK_STATE = 17
+#: Recovery FSM scheduled a reconnect attempt.  a = attempt number
+#: (1-based within the incident), b = backoff delay in femtoseconds.
+EV_LINK_RECONNECT = 18
+#: One clean beacon interval counted while rejoining (RESYNC).
+#: a = consecutive clean intervals so far, b = intervals required.
+EV_LINK_RESYNC = 19
+#: Quarantine-release handshake with the invariant checker completed.
+#: a = reconnect attempts the incident took, b = resync windows used.
+EV_LINK_RELEASE = 20
 
 KIND_NAMES: Dict[int, str] = {
     EV_PORT_STATE: "port-state",
@@ -79,6 +92,10 @@ KIND_NAMES: Dict[int, str] = {
     EV_ALARM: "monitor-alarm",
     EV_DISC_OBSERVE: "discipline-observe",
     EV_DISC_ACTION: "discipline-action",
+    EV_LINK_STATE: "link-state",
+    EV_LINK_RECONNECT: "link-reconnect",
+    EV_LINK_RESYNC: "link-resync",
+    EV_LINK_RELEASE: "link-release",
 }
 
 #: ``EV_PORT_STATE`` argument ``a``: the port FSM state.
@@ -102,6 +119,27 @@ REJECT_UNDECODABLE = 3
 
 #: ``EV_DISC_ACTION`` argument ``a``: the correction kind.
 DISC_ACTION_CODES: Dict[str, int] = {"step": 1, "slew": 2, "hold": 3}
+
+#: ``EV_LINK_STATE`` argument ``a``: the recovery FSM state (mirrors
+#: ``repro.linkhealth.fsm``; duplicated here so the schema table has no
+#: import cycle into the supervision package).
+LINK_STATE_CODES: Dict[int, str] = {
+    0: "up",
+    1: "degraded",
+    2: "down",
+    3: "reconnecting",
+    4: "resync",
+}
+
+#: ``EV_LINK_STATE`` argument ``b``: what drove the transition.
+LINK_CAUSE_CODES: Dict[int, str] = {
+    0: "none",
+    1: "silence",
+    2: "ber",
+    3: "signal-loss",
+    4: "admin",
+    5: "peer",
+}
 
 
 #: The reference schema: ``{code: (subject, a, b)}`` — what each field of
@@ -189,6 +227,27 @@ EVENT_SCHEMA: Dict[int, Tuple[str, str, str]] = {
         "raced clock (race/<node>)",
         "action code: step=1 / slew=2 / hold=3",
         "step size (fs) for steps, new frequency adjustment (ppb) otherwise",
+    ),
+    EV_LINK_STATE: (
+        "supervised link (link/<a>-<b>)",
+        "state: up=0 / degraded=1 / down=2 / reconnecting=3 / resync=4",
+        "cause: none=0 / silence=1 / ber=2 / signal-loss=3 / admin=4 / "
+        "peer=5",
+    ),
+    EV_LINK_RECONNECT: (
+        "supervised link (link/<a>-<b>)",
+        "attempt number within the incident (1-based)",
+        "backoff delay, fs",
+    ),
+    EV_LINK_RESYNC: (
+        "supervised link (link/<a>-<b>)",
+        "consecutive clean beacon intervals counted",
+        "clean intervals required for release",
+    ),
+    EV_LINK_RELEASE: (
+        "supervised link (link/<a>-<b>)",
+        "reconnect attempts the incident took",
+        "resync windows used before release",
     ),
 }
 

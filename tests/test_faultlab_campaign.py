@@ -193,14 +193,19 @@ def test_render_ends_with_campaign_digest():
 
 
 def test_cli_list(capsys):
-    from repro.faultlab.scenarios import FABRIC_SCENARIOS
+    from repro.faultlab.scenarios import FABRIC_SCENARIOS, LINKHEALTH_SCENARIOS
 
     assert faultlab_main(["--list"]) == 0
     out = capsys.readouterr().out.splitlines()
     assert out[: len(BUILTIN_SCENARIOS)] == list(BUILTIN_SCENARIOS)
-    assert out[len(BUILTIN_SCENARIOS) :] == [
+    fabric_end = len(BUILTIN_SCENARIOS) + len(FABRIC_SCENARIOS)
+    assert out[len(BUILTIN_SCENARIOS) : fabric_end] == [
         f"{name}  (fabric-scale; by explicit name only)"
         for name in FABRIC_SCENARIOS
+    ]
+    assert out[fabric_end:] == [
+        f"{name}  (link supervision; by explicit name only)"
+        for name in LINKHEALTH_SCENARIOS
     ]
 
 
