@@ -25,7 +25,10 @@ and enforces the regression guards:
   under the ``"fastpath"`` key;
 * the link-supervision guard: ``repro.linkhealth`` enabled but idle on
   the fault-free Fig. 6a run must stay bit-identical and within 5% of
-  the unsupervised wall clock, recorded under the ``"linkhealth"`` key.
+  the unsupervised wall clock, recorded under the ``"linkhealth"`` key;
+* the observe-tap guard: streaming snapshot taps on the traced Fig. 6a
+  run must stay bit-identical and within 5% of the plain traced wall
+  clock, recorded under the ``"observe"`` key.
 
 The resulting ``BENCH_core.json`` (repo root) records the numbers so the
 perf trajectory is tracked across PRs::
@@ -147,6 +150,19 @@ def test_perf_core_speedup_and_bench_json():
             f"4-shard run only {four:.2f}x of serial on a "
             f"{shard['usable_cpus']}-CPU host"
         )
+    # Observe-tap guard: the snapshot probe + batched atomic flushes on
+    # the traced Fig. 6a run must cost at most 5% over plain tracing and
+    # must not change a single output byte.  Same interleaved min-of-N
+    # method as the linkhealth guard (the baseline is re-measured, not
+    # reused, because 5% is tighter than this host's section drift).
+    observe = bench["observe"]
+    assert observe["bit_identical_to_untapped"]
+    assert observe["snapshots_emitted"] > 0
+    tapped_ratio = observe["tapped_over_traced"]
+    assert tapped_ratio <= 1.05, (
+        f"snapshot taps cost {tapped_ratio:.1%} of the traced "
+        "Fig. 6a run (budget: 5%)"
+    )
 
 
 def test_shard_acceptance_fat_tree():

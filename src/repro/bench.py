@@ -113,14 +113,14 @@ def result_digest(result) -> str:
 
 
 def run_fig6a(
-    telemetry=None, backend: str = "scalar", linkhealth=None
+    telemetry=None, backend: str = "scalar", linkhealth=None, observe=None
 ) -> Tuple[str, float]:
     """One timed Fig. 6a run; returns (output digest, wall seconds)."""
     gc.collect()
     start = time.perf_counter()
     result = run_fig6_dtp(
         Fig6DtpConfig(**FIG6A_CONFIG), telemetry=telemetry, backend=backend,
-        linkhealth=linkhealth,
+        linkhealth=linkhealth, observe=observe,
     )
     wall = time.perf_counter() - start
     return result_digest(result), wall
@@ -322,6 +322,54 @@ def collect(repeats: int = TIMING_REPEATS, seed_core=None) -> dict:
         "bit_identical_to_unsupervised": digest_supervised == digest_new,
     }
 
+    # --- observe tap overhead ----------------------------------------------
+    # Streaming snapshot taps piggyback on the traced run (the probe and
+    # its flush batching only make sense with telemetry on), so the
+    # budget compares traced+tapped against plain traced — interleaved
+    # re-measured baseline, same method as the linkhealth section.  The
+    # tap must observe, never perturb: bit-identical experiment output.
+    import shutil
+    import tempfile
+
+    from .observe.snapshots import ObserveProbe, SnapshotTap
+
+    observe_dir = tempfile.mkdtemp(prefix="bench-observe-")
+
+    def tapped_fig6a() -> Tuple[str, float, int]:
+        tap = SnapshotTap(
+            str(Path(observe_dir) / "fig6a.snapshots.jsonl"),
+            {"scenario": "fig6a", "seed": FIG6A_CONFIG["seed"],
+             "duration_fs": FIG6A_CONFIG["duration_fs"],
+             "sample_interval_fs": 100 * units.US},
+        )
+        probe = ObserveProbe(tap=tap)
+        digest, wall = run_fig6a(telemetry=Telemetry(), observe=probe)
+        tap.flush()
+        return digest, wall, probe.samples
+    try:
+        tapped_fig6a()  # warm
+        fig6a_traced_base_wall = fig6a_tapped_wall = float("inf")
+        digest_tapped = ""
+        tapped_samples = 0
+        for _ in range(repeats):
+            _, wall = run_fig6a(telemetry=Telemetry())
+            fig6a_traced_base_wall = min(fig6a_traced_base_wall, wall)
+            digest_tapped, wall, tapped_samples = tapped_fig6a()
+            fig6a_tapped_wall = min(fig6a_tapped_wall, wall)
+    finally:
+        shutil.rmtree(observe_dir, ignore_errors=True)
+    assert digest_tapped == digest_new, (
+        "observe tap changed experiment output"
+    )
+    observe = {
+        "fig6a_wall_s_tapped": round(fig6a_tapped_wall, 3),
+        "tapped_over_traced": round(
+            fig6a_tapped_wall / fig6a_traced_base_wall, 3
+        ),
+        "snapshots_emitted": tapped_samples,
+        "bit_identical_to_untapped": digest_tapped == digest_new,
+    }
+
     # --- sharded backend ---------------------------------------------------
     # Throughput of the conservative parallel backend on the clos-fabric
     # scenario at 1/2/4 shards, against the serial oracle.  Every sharded
@@ -384,6 +432,7 @@ def collect(repeats: int = TIMING_REPEATS, seed_core=None) -> dict:
         "insight": insight,
         "fastpath": fastpath,
         "linkhealth": linkhealth,
+        "observe": observe,
         "shard": shard,
     }
 

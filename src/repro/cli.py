@@ -6,7 +6,9 @@
 checkpoint-journal / failure-report inspector
 (:mod:`repro.resilience.cli`), ``repro insight ...`` to the trace
 analytics CLI (:mod:`repro.insight.cli`), ``repro racelab ...`` to the
-discipline race lab (:mod:`repro.discipline.cli`), ``repro bench`` to the core
+discipline race lab (:mod:`repro.discipline.cli`), ``repro status`` /
+``repro watch`` / ``repro slo`` to the live-observability mission
+control (:mod:`repro.observe.cli`), ``repro bench`` to the core
 performance benchmarks (:mod:`repro.bench`, rewriting ``BENCH_core.json``);
 anything else goes to the experiment driver (:mod:`repro.experiments.cli`),
 so ``repro fig6a --quick`` keeps working exactly like
@@ -43,6 +45,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .discipline.cli import main as racelab_main
 
         return racelab_main(argv[1:])
+    if argv and argv[0] in ("status", "watch", "slo"):
+        from .observe.cli import main as observe_main
+
+        return observe_main(argv)
     if argv and argv[0] == "bench":
         from .bench import main as bench_main
 

@@ -75,6 +75,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "<DIR>/race-report.md",
     )
     parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="record a trace per race entry and write "
+        "<DIR>/<discipline>/<scenario>.trace.jsonl",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="DIR", default=None,
+        help="write <DIR>/<discipline>/<scenario>.metrics.json and "
+        ".prom (Prometheus text exposition) per race entry",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list race scenarios and discipline kinds, then exit",
     )
@@ -102,6 +112,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             base_seed=args.seed,
             jobs=jobs,
             out_dir=args.out,
+            trace_dir=args.trace,
+            metrics_dir=args.metrics_out,
         )
     except DisciplineError as exc:
         parser.error(str(exc))

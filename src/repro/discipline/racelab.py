@@ -353,12 +353,17 @@ def run_race_scenario(
         metrics_dir=metrics_dir,
         observers=[observer],
     )
+    # The fairness digest covers the scenario's own metrics only: with
+    # telemetry export enabled, the race observer's EV_DISC_* events and
+    # discipline_actions_total family land in the "telemetry" overlay
+    # and legitimately differ per discipline.
+    scenario_only = {k: v for k, v in metrics.items() if k != "telemetry"}
     return {
         "scenario": str(spec.get("name", "scenario")),
         "seed": seed,
         "race": observer.results(),
         "scenario_metrics": metrics,
-        "scenario_digest": metrics_digest(metrics),
+        "scenario_digest": metrics_digest(scenario_only),
     }
 
 
@@ -367,9 +372,18 @@ def _race_task(
     discipline_spec,
     seed: int,
     settings: Optional[RaceSettings] = None,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Module-level (picklable) worker for the parallel runner."""
-    return run_race_scenario(spec, discipline_spec, seed=seed, settings=settings)
+    return run_race_scenario(
+        spec,
+        discipline_spec,
+        seed=seed,
+        settings=settings,
+        trace_dir=trace_dir,
+        metrics_dir=metrics_dir,
+    )
 
 
 def _congested_baseline(quick: bool) -> Dict[str, object]:
@@ -434,6 +448,8 @@ def run_race_campaign(
     jobs: Optional[int] = 1,
     settings: Optional[RaceSettings] = None,
     out_dir: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Race every discipline over every scenario; group results by scenario.
 
@@ -446,6 +462,10 @@ def run_race_campaign(
 
     With ``out_dir``, writes ``<scenario>.race.json`` per scenario plus
     ``race-report.md`` (both canonical and byte-stable for a seed).
+    With ``trace_dir`` / ``metrics_dir``, every entry exports its
+    scenario's telemetry artifacts under a ``<dir>/<discipline>/``
+    subdirectory (artifact names are keyed by scenario, so entries of
+    one scenario would otherwise collide).
     """
     specs = list(specs)
     disciplines = list(disciplines)
@@ -467,7 +487,19 @@ def run_race_campaign(
                     f"{name}/{label}",
                     _race_task,
                     (spec, disc, seed),
-                    {"settings": effective},
+                    {
+                        "settings": effective,
+                        "trace_dir": (
+                            os.path.join(trace_dir, label)
+                            if trace_dir is not None
+                            else None
+                        ),
+                        "metrics_dir": (
+                            os.path.join(metrics_dir, label)
+                            if metrics_dir is not None
+                            else None
+                        ),
+                    },
                     seed=seed,
                 )
             )

@@ -85,6 +85,7 @@ def run_fig6_dtp(
     telemetry=None,
     backend: str = "scalar",
     linkhealth=None,
+    observe=None,
 ) -> ExperimentResult:
     """Run one heavily-loaded DTP precision experiment.
 
@@ -96,6 +97,11 @@ def run_fig6_dtp(
     :mod:`repro.linkhealth` supervision (True or a knob dict); on this
     fault-free run the supervisors stay idle and the output digest is
     unchanged — the property the ``"linkhealth"`` bench section guards.
+    ``observe`` (a :class:`repro.observe.ObserveProbe`) rides the
+    true-offset watcher's cadence, feeding per-link counter offsets to
+    the probe (and its snapshot tap, when attached); it only reads
+    network state, so the experiment output digest stays unchanged — the
+    property the ``"observe"`` bench section guards.
     """
     pairs = pairs if pairs is not None else FIG6AB_PAIRS
     frame = frame_for(config.frame_name)
@@ -135,6 +141,27 @@ def run_fig6_dtp(
             sim.schedule(100 * units.US, watch_true)
 
     sim.schedule_at(config.warmup_fs, watch_true)
+
+    if observe is not None:
+        # The probe self-schedules from early in the run (not just the
+        # post-warmup watcher grid), sampling every adjacent link — the
+        # live stream should show convergence, not start at steady state.
+        direct_bound = 4
+
+        def watch_observe() -> None:
+            observe.observe_links(
+                sim.now,
+                net.max_abs_offset(),
+                [
+                    (edge.a, edge.b, abs(net.pair_offset(edge.a, edge.b)),
+                     direct_bound)
+                    for edge in topology.edges
+                ],
+            )
+            if sim.now < config.duration_fs:
+                sim.schedule(100 * units.US, watch_observe)
+
+        sim.schedule_at(min(config.warmup_fs, 100 * units.US), watch_observe)
     sim.run_until(config.duration_fs)
 
     result = ExperimentResult(

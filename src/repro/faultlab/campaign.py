@@ -40,6 +40,7 @@ from ..dtp.network import DtpNetwork
 from ..dtp.port import DtpPortConfig
 from ..experiments.parallel import ExperimentTask, derive_seed, run_named_tasks
 from ..network import topology as topo
+from ..observe.snapshots import ObserveProbe, make_tap
 from ..sim.engine import MacroTickSimulator, Simulator
 from ..sim.randomness import RandomStreams
 from ..telemetry import Telemetry, dump_flight, write_metrics_json, write_trace_jsonl
@@ -159,6 +160,9 @@ def run_scenario(
     observers: Optional[List[Callable[..., object]]] = None,
     shards: Optional[int] = None,
     shard_transport: str = "process",
+    snapshot_dir: Optional[str] = None,
+    observe: bool = False,
+    health_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run one scenario and return its (canonically JSON-able) metrics.
 
@@ -191,6 +195,15 @@ def run_scenario(
     guarantee; pinned by the discipline equivalence tests).  Observers
     require the scalar backend: the batched fast path replays the scalar
     engine's event-sequence allocation, which observer events would skew.
+
+    ``observe=True`` (implied by ``snapshot_dir``) rides the checker's
+    existing sampler grid with a :class:`repro.observe.ObserveProbe` and
+    adds a deterministic ``result["observe"]`` section; ``snapshot_dir``
+    additionally streams ``<scenario>.snapshots.jsonl`` incrementally
+    while the run executes.  Both are byte-identical across the scalar,
+    batched and sharded backends.  ``health_dir`` enables the (explicitly
+    nondeterministic) coordinator health channel on the sharded backend;
+    the in-process backends have no coordinator, so it is a no-op here.
     """
     unknown = set(spec) - _SPEC_KEYS
     if unknown:
@@ -222,9 +235,14 @@ def run_scenario(
             observers=observers,
             shards=shards,
             transport=shard_transport,
+            snapshot_dir=snapshot_dir,
+            observe=observe,
+            health_dir=health_dir,
         )
 
-    if telemetry is None and (trace_dir or metrics_dir or flight_dir or profile_dispatch):
+    if telemetry is None and (
+        trace_dir or metrics_dir or flight_dir or snapshot_dir or profile_dispatch
+    ):
         telemetry = Telemetry(profile_dispatch=profile_dispatch)
 
     if backend not in ("scalar", "batched"):
@@ -289,12 +307,31 @@ def run_scenario(
     )
     sample_times: List[int] = []
     sample_values: List[int] = []
+    probe: Optional[ObserveProbe] = None
+    if observe or snapshot_dir is not None:
+        tap = (
+            make_tap(snapshot_dir, spec, seed, sample_interval_fs)
+            if snapshot_dir is not None
+            else None
+        )
+        probe = ObserveProbe(tap=tap)
 
     def _sample() -> None:
         worst = checker.worst_checkable_offset()
         if worst is not None:
             sample_times.append(sim.now)
             sample_values.append(worst)
+        if probe is not None:
+            probe.sample(
+                sim.now,
+                worst,
+                checker,
+                trace_recorded=(
+                    telemetry.tracer.recorded
+                    if telemetry is not None and telemetry.tracer is not None
+                    else 0
+                ),
+            )
         sim.schedule(sample_interval_fs, _sample)
 
     sim.schedule_at(sim.now, _sample)
@@ -315,6 +352,9 @@ def run_scenario(
                 ),
             )
             _attach_insight(flight_dir, name, "insight.md", dump)
+        if probe is not None and probe.tap is not None:
+            # Leave the stream crash-consistent at the last sampled instant.
+            probe.tap.flush()
         raise
     if wall_start is not None:
         telemetry.record_wallclock(
@@ -398,6 +438,11 @@ def run_scenario(
         # Only present on supervised runs so unsupervised results (and
         # their digests) stay byte-identical to the pre-linkhealth code.
         result["linkhealth"] = network.linkhealth.summary()
+    if probe is not None:
+        # Only present on observed runs so observe-off results (and their
+        # digests) stay byte-identical to the pre-observe code.
+        result["observe"] = probe.summary()
+        probe.finalize(result)
     return result
 
 
@@ -417,6 +462,9 @@ def _scenario_task(
     backend: str = "scalar",
     shards: Optional[int] = None,
     shard_transport: str = "process",
+    snapshot_dir: Optional[str] = None,
+    observe: bool = False,
+    health_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Module-level (hence picklable) worker for the parallel runner."""
     if backend == "sharded" and shard_transport == "process":
@@ -436,6 +484,9 @@ def _scenario_task(
         backend=backend,
         shards=shards,
         shard_transport=shard_transport,
+        snapshot_dir=snapshot_dir,
+        observe=observe,
+        health_dir=health_dir,
     )
 
 
@@ -449,6 +500,9 @@ def _campaign_tasks(
     backend: str = "scalar",
     shards: Optional[int] = None,
     shard_transport: str = "process",
+    snapshot_dir: Optional[str] = None,
+    observe: bool = False,
+    health_dir: Optional[str] = None,
 ) -> List[ExperimentTask]:
     tasks = []
     for spec in specs:
@@ -468,6 +522,9 @@ def _campaign_tasks(
                     "backend": backend,
                     "shards": shards,
                     "shard_transport": shard_transport,
+                    "snapshot_dir": snapshot_dir,
+                    "observe": observe,
+                    "health_dir": health_dir,
                 },
                 seed=derive_seed(base_seed, name),
             )
@@ -486,6 +543,9 @@ def run_campaign(
     backend: str = "scalar",
     shards: Optional[int] = None,
     shard_transport: str = "process",
+    snapshot_dir: Optional[str] = None,
+    observe: bool = False,
+    health_dir: Optional[str] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Run many scenarios, each seeded from ``(base_seed, scenario name)``.
 
@@ -499,7 +559,7 @@ def run_campaign(
     """
     tasks = _campaign_tasks(
         specs, base_seed, trace_dir, metrics_dir, flight_dir, profile_dispatch,
-        backend, shards, shard_transport,
+        backend, shards, shard_transport, snapshot_dir, observe, health_dir,
     )
     return run_named_tasks(tasks, jobs=jobs)
 
@@ -517,6 +577,9 @@ def run_resilient_campaign(
     backend: str = "scalar",
     shards: Optional[int] = None,
     shard_transport: str = "process",
+    snapshot_dir: Optional[str] = None,
+    observe: bool = False,
+    health_dir: Optional[str] = None,
 ):
     """Run a campaign under the :mod:`repro.resilience` supervisor.
 
@@ -537,7 +600,7 @@ def run_resilient_campaign(
 
     tasks = _campaign_tasks(
         specs, base_seed, trace_dir, metrics_dir, flight_dir, profile_dispatch,
-        backend, shards, shard_transport,
+        backend, shards, shard_transport, snapshot_dir, observe, health_dir,
     )
     if policy is None:
         policy = SupervisorPolicy(base_seed=base_seed)
@@ -550,7 +613,17 @@ def run_resilient_campaign(
             journal_path,
             meta={"campaign": "faultlab", "base_seed": base_seed},
         )
-    run = run_supervised(tasks, jobs=jobs, policy=policy, journal=journal)
+    health = None
+    if health_dir is not None:
+        from ..observe.health import HealthRecorder
+
+        health = HealthRecorder(source="resilient-campaign")
+    run = run_supervised(
+        tasks, jobs=jobs, policy=policy, journal=journal, health=health
+    )
+    if health is not None:
+        os.makedirs(health_dir, exist_ok=True)
+        health.write(os.path.join(health_dir, "campaign.health.jsonl"))
     report = run.report()
     if flight_dir is not None and run.quarantined:
         failures = [failure.as_dict() for failure in run.failures]

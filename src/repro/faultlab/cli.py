@@ -116,6 +116,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "in the digest-excluded registry section",
     )
     parser.add_argument(
+        "--snapshots", metavar="DIR", default=None,
+        help="stream <DIR>/<name>.snapshots.jsonl live-observability "
+        "snapshots during each scenario (deterministic; inspect with "
+        "'repro status DIR' / 'repro watch DIR')",
+    )
+    parser.add_argument(
+        "--slo", metavar="SPEC", default=None,
+        help="evaluate every scenario against this SLO spec (builtin name, "
+        "JSON file, or inline JSON) and exit 1 on breach; verdicts and the "
+        "scorecard are written into the --snapshots directory when set",
+    )
+    parser.add_argument(
+        "--health", metavar="DIR", default=None,
+        help="write the (explicitly nondeterministic) run-health channel: "
+        "<DIR>/<name>.health.jsonl from sharded coordinators and "
+        "<DIR>/campaign.health.jsonl from the resilience supervisor",
+    )
+    parser.add_argument(
         "--journal", metavar="PATH", default=None,
         help="checkpoint completed scenarios to this JSONL journal; "
         "re-running with the same journal resumes, skipping them "
@@ -152,6 +170,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CampaignError as exc:
         parser.error(str(exc))
 
+    slo = None
+    if args.slo is not None:
+        from ..observe.slo import SLOError, load_slo
+
+        try:
+            slo = load_slo(args.slo)
+        except SLOError as exc:
+            parser.error(str(exc))
+
     jobs = None if args.jobs == 0 else args.jobs
     supervised = any(
         value is not None
@@ -181,6 +208,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             shards=args.shards,
             shard_transport=args.shard_transport,
+            snapshot_dir=args.snapshots,
+            observe=args.slo is not None,
+            health_dir=args.health,
         )
     else:
         results = run_campaign(
@@ -194,6 +224,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             shards=args.shards,
             shard_transport=args.shard_transport,
+            snapshot_dir=args.snapshots,
+            observe=args.slo is not None,
+            health_dir=args.health,
         )
     # stdout carries only the (digest-stable) campaign results; failure
     # reporting goes to stderr so supervised and plain runs of the same
@@ -223,6 +256,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f" {failure['kind']}: {failure['detail']}",
                     file=sys.stderr,
                 )
+            return 1
+    if slo is not None:
+        from ..observe.cli import evaluate_results, render_verdicts, write_verdicts
+
+        verdicts = evaluate_results(results, slo)
+        if args.snapshots is not None:
+            write_verdicts(args.snapshots, verdicts)
+        breaches = [n for n, v in sorted(verdicts.items()) if not v["pass"]]
+        if breaches:
+            print(f"SLO '{slo['name']}' breached:", file=sys.stderr)
+            for line in render_verdicts(
+                {n: verdicts[n] for n in breaches}
+            ):
+                print(f"  {line}", file=sys.stderr)
             return 1
     return 0
 

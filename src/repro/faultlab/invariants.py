@@ -431,6 +431,35 @@ class InvariantChecker:
                 worst = offset
         return worst
 
+    def link_offsets(
+        self, enforce_grace: bool = True
+    ) -> List[Tuple[str, str, int, int]]:
+        """Offsets on currently checkable *adjacent* links.
+
+        Returns ``[(a, b, offset, bound)]`` for every checkable pair at
+        distance 1 in the synchronized subgraph — the per-link error
+        distribution the ``repro.observe`` probe accumulates.  Filtering
+        (quarantine, healing, grace) and bounds match
+        :meth:`checkable_pairs` exactly, and the enumeration order is the
+        deterministic i<j node order, so serial and sharded-replay
+        checkers produce identical link streams.
+        """
+        distances, pairs = self._epoch_state()
+        now = self.network.sim.now
+        grace = self.grace_fs
+        devices = self.network.devices
+        out: List[Tuple[str, str, int, int]] = []
+        for a, b, bound, since in pairs:
+            if distances[a].get(b) != 1:
+                continue
+            if enforce_grace and now - (now if since is None else since) < grace:
+                continue
+            offset = abs(
+                devices[a].global_counter(now) - devices[b].global_counter(now)
+            )
+            out.append((a, b, offset, bound))
+        return out
+
     # ------------------------------------------------------------------
     # The check tick
     # ------------------------------------------------------------------

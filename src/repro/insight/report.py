@@ -52,6 +52,8 @@ _SUFFIXES = {
     "failure_flight": ".failure.flight.jsonl",
     "flight": ".flight.jsonl",
     "race": ".race.json",
+    "snapshots": ".snapshots.jsonl",
+    "slo": ".slo.json",
 }
 
 
@@ -221,6 +223,42 @@ def _dispatch_section(
     return lines
 
 
+def _slo_section(
+    verdict: Optional[Dict[str, object]],
+    stream: Optional[Dict[str, object]],
+) -> List[str]:
+    """SLO verdict + snapshot-stream precision summary (both deterministic)."""
+    lines: List[str] = []
+    if stream is not None:
+        final = stream.get("final") or {}
+        observe = final.get("observe") or {}
+        snapshots = stream.get("snapshots") or []
+        lines.append(
+            f"snapshot stream: {len(snapshots)} samples,"
+            f" observed={observe.get('observed_total', 0)}"
+            f" in-bound={observe.get('in_bound_ppm', -1)} ppm"
+            f" max|offset|={observe.get('max_offset_units', 0)} units"
+        )
+        quantiles = observe.get("quantiles_units")
+        if quantiles:
+            lines.append(
+                "offset quantiles (units):"
+                f" p50={quantiles.get('p50')} p90={quantiles.get('p90')}"
+                f" p99={quantiles.get('p99')} p100={quantiles.get('p100')}"
+            )
+    if verdict is not None:
+        status = "PASS" if verdict.get("pass") else "FAIL"
+        lines.append(f"SLO '{verdict.get('slo', '?')}': {status}")
+        for objective in verdict.get("objectives", []):
+            mark = "ok" if objective.get("pass") else "BREACHED"
+            lines.append(
+                f"  {objective.get('objective'):32s}"
+                f" limit={objective.get('limit')}"
+                f" observed={objective.get('observed')}  {mark}"
+            )
+    return lines
+
+
 def _race_section(race_doc: Dict[str, object]) -> List[str]:
     """Ranked discipline-race standings from a ``.race.json`` artifact."""
     from ..discipline.racelab import ranked_entries
@@ -369,6 +407,26 @@ def _scenario_section(
         lines.extend(_race_section(race_doc))
         lines.append("```")
         lines.append("")
+
+    if "slo" in artifacts or "snapshots" in artifacts:
+        from ..observe.snapshots import read_snapshots
+
+        verdict = (
+            _load_metrics(artifacts["slo"]) if "slo" in artifacts else None
+        )
+        stream = (
+            read_snapshots(artifacts["snapshots"])
+            if "snapshots" in artifacts
+            else None
+        )
+        slo_lines = _slo_section(verdict, stream)
+        if slo_lines:
+            lines.append("### SLO scorecard")
+            lines.append("")
+            lines.append("```")
+            lines.extend(slo_lines)
+            lines.append("```")
+            lines.append("")
 
     if "metrics" in artifacts:
         metrics_doc = _load_metrics(artifacts["metrics"])

@@ -1,0 +1,124 @@
+"""Mergeable fixed-bucket offset histograms with deterministic quantiles.
+
+The SLO engine needs per-link error *distributions*, not just maxima, and
+it needs the sharded backend to produce byte-identical distributions to
+the serial one.  Both fall out of one representation choice: a histogram
+with **fixed power-of-two bucket uppers** whose merge is element-wise
+integer addition — associative, commutative, and therefore independent of
+shard layout and merge order.
+
+Offsets are recorded in *counter units* (the same unit as the checker's
+4TD bound and ``max_offset_excursion``), never floats.  Quantiles are
+deterministic upper bounds: the smallest bucket upper whose cumulative
+count reaches the requested rank, with the exact maximum tracked
+separately so ``q=1`` is precise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+#: Bucket uppers: value ``v`` lands in the first bucket with ``v <= upper``.
+#: 1, 2, 4, ... 2**23 counter units; anything beyond is overflow.  24 fixed
+#: buckets keep snapshot lines small while spanning healthy links (a few
+#: units) through runaway clocks (millions).
+BUCKET_BITS = 24
+BUCKET_UPPERS: List[int] = [1 << i for i in range(BUCKET_BITS)]
+
+
+class OffsetHistogram:
+    """Fixed-bucket integer histogram; merge = element-wise addition."""
+
+    __slots__ = ("counts", "overflow", "total", "sum", "max_value")
+
+    def __init__(self) -> None:
+        self.counts = [0] * BUCKET_BITS
+        self.overflow = 0
+        self.total = 0
+        self.sum = 0
+        self.max_value = 0
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            value = -value
+        if value == 0:
+            idx = 0
+        else:
+            idx = (value - 1).bit_length()
+        if idx < BUCKET_BITS:
+            self.counts[idx] += 1
+        else:
+            self.overflow += 1
+        self.total += 1
+        self.sum += value
+        if value > self.max_value:
+            self.max_value = value
+
+    def merge(self, other: "OffsetHistogram") -> None:
+        """Fold ``other`` into this histogram in place."""
+        for i in range(BUCKET_BITS):
+            self.counts[i] += other.counts[i]
+        self.overflow += other.overflow
+        self.total += other.total
+        self.sum += other.sum
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+
+    @classmethod
+    def merged(cls, parts: Iterable["OffsetHistogram"]) -> "OffsetHistogram":
+        out = cls()
+        for part in parts:
+            out.merge(part)
+        return out
+
+    def quantile_ppm(self, q_ppm: int) -> int:
+        """Deterministic upper bound on the ``q_ppm``/1e6 quantile.
+
+        Returns the smallest bucket upper whose cumulative count reaches
+        ``ceil(q_ppm * total / 1e6)``, clamped at the exact maximum (all
+        mass is ``<= max_value``, so the clamp is a strictly tighter
+        bound and keeps quantiles monotone through ``q=1``); the exact
+        maximum when the rank lands in the overflow bucket; 0 for an
+        empty histogram.
+        """
+        if self.total == 0:
+            return 0
+        if q_ppm >= 1_000_000:
+            return self.max_value
+        rank = -((-q_ppm * self.total) // 1_000_000)  # ceil division
+        if rank <= 0:
+            rank = 1
+        cumulative = 0
+        for i in range(BUCKET_BITS):
+            cumulative += self.counts[i]
+            if cumulative >= rank:
+                return min(BUCKET_UPPERS[i], self.max_value)
+        return self.max_value
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (plain ints only; digest-stable)."""
+        return {
+            "bucket_bits": BUCKET_BITS,
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "total": self.total,
+            "sum": self.sum,
+            "max": self.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "OffsetHistogram":
+        if data.get("bucket_bits") != BUCKET_BITS:
+            raise ValueError(
+                f"histogram bucket_bits {data.get('bucket_bits')!r} != {BUCKET_BITS}"
+            )
+        hist = cls()
+        counts = list(data["counts"])  # type: ignore[arg-type]
+        if len(counts) != BUCKET_BITS:
+            raise ValueError("histogram counts length mismatch")
+        hist.counts = [int(c) for c in counts]
+        hist.overflow = int(data["overflow"])  # type: ignore[arg-type]
+        hist.total = int(data["total"])  # type: ignore[arg-type]
+        hist.sum = int(data["sum"])  # type: ignore[arg-type]
+        hist.max_value = int(data["max"])  # type: ignore[arg-type]
+        return hist

@@ -1,0 +1,273 @@
+"""The precision-SLO engine: declarative targets, deterministic verdicts.
+
+An SLO spec is a plain dict of integer targets against the quantities the
+observe probe and invariant checker already measure:
+
+``max_violations``
+    Ceiling on 4TD-bound violations the checker recorded (the paper's
+    guarantee: 0 for every handled fault).
+``min_in_bound_ppm``
+    Minimum fraction (parts per million) of per-link offset observations
+    within that link's 4TD bound.  Evaluated from the probe's exact
+    integer counters — ``in_bound * 1e6 >= ppm * total`` — never from
+    floats, so the verdict is bit-stable.
+``max_offset_units`` / ``max_offset_p99_units``
+    Ceilings on the worst observed adjacent-link offset and on its
+    deterministic p99 upper bound (counter units, from the mergeable
+    fixed-bucket histogram).
+``convergence_deadline_fs``
+    The first sampler instant with a checkable pair must arrive by this
+    simulated time.
+``max_recovery_fs``
+    Per-fault recovery-time ceilings: ``{"*": default_fs, reason: fs}``
+    matched against the checker's recorded recovery maxima.
+
+``evaluate_slo`` consumes a *source* dict assembled either from a live
+snapshot stream's ``final`` record or from a post-hoc result — both carry
+the same fields, so the two paths produce identical verdicts by
+construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from ..sim import units
+from .histograms import OffsetHistogram
+
+
+class SLOError(ValueError):
+    """Bad SLO spec or unusable evaluation source."""
+
+
+def builtin_slos() -> Dict[str, Dict[str, object]]:
+    """The named built-in SLO specs."""
+    return {
+        # The paper's headline claim at campaign scale: no 4TD violations,
+        # 95% of link observations in bound (transient waves during fault
+        # handling are expected), convergence and every recovery inside a
+        # millisecond of simulated time.
+        "default": {
+            "name": "default",
+            "max_violations": 0,
+            "min_in_bound_ppm": 950_000,
+            "max_offset_units": None,
+            "max_offset_p99_units": None,
+            "convergence_deadline_fs": 1 * units.MS,
+            "max_recovery_fs": {"*": 1 * units.MS},
+        },
+        # A tight profile for fault-free runs: steady-state links stay
+        # within a couple of ticks and virtually every observation is in
+        # bound.  Handled-fault scenarios are expected to breach this one.
+        "strict": {
+            "name": "strict",
+            "max_violations": 0,
+            "min_in_bound_ppm": 999_000,
+            "max_offset_units": None,
+            "max_offset_p99_units": 16,
+            "convergence_deadline_fs": 200 * units.US,
+            "max_recovery_fs": {"*": 500 * units.US},
+        },
+    }
+
+
+_SPEC_KEYS = frozenset(
+    [
+        "name",
+        "max_violations",
+        "min_in_bound_ppm",
+        "max_offset_units",
+        "max_offset_p99_units",
+        "convergence_deadline_fs",
+        "max_recovery_fs",
+    ]
+)
+
+
+def _validate(spec: Dict[str, object]) -> Dict[str, object]:
+    unknown = set(spec) - _SPEC_KEYS
+    if unknown:
+        raise SLOError(f"unknown SLO spec keys: {sorted(unknown)}")
+    if "name" not in spec:
+        raise SLOError("SLO spec needs a 'name'")
+    recovery = spec.get("max_recovery_fs")
+    if recovery is not None and not isinstance(recovery, dict):
+        raise SLOError("max_recovery_fs must be a {reason: ceiling_fs} dict")
+    return spec
+
+
+def load_slo(spec: str) -> Dict[str, object]:
+    """Resolve an SLO argument: builtin name, JSON file path, or inline JSON."""
+    builtins = builtin_slos()
+    if spec in builtins:
+        return builtins[spec]
+    if spec.lstrip().startswith("{"):
+        try:
+            return _validate(json.loads(spec))
+        except ValueError as exc:
+            raise SLOError(f"bad inline SLO spec: {exc}") from exc
+    if os.path.exists(spec):
+        with open(spec, "r", encoding="utf-8") as fh:
+            try:
+                return _validate(json.load(fh))
+            except ValueError as exc:
+                raise SLOError(f"bad SLO spec file {spec}: {exc}") from exc
+    raise SLOError(
+        f"unknown SLO {spec!r}: not a builtin ({sorted(builtins)}), "
+        "not a file, not inline JSON"
+    )
+
+
+def slo_source_from_result(result: Dict[str, object]) -> Dict[str, object]:
+    """Evaluation source from a post-hoc scenario result dict."""
+    if "observe" not in result:
+        raise SLOError(
+            f"result for {result.get('scenario')!r} has no 'observe' section "
+            "(run with snapshots or observe enabled)"
+        )
+    return {
+        "scenario": result["scenario"],
+        "seed": result["seed"],
+        "duration_fs": result["duration_fs"],
+        "violations_total": result["violations_total"],
+        "recovery": result["recovery"],
+        "observe": result["observe"],
+    }
+
+
+def slo_source_from_snapshots(stream: Dict[str, object]) -> Dict[str, object]:
+    """Evaluation source from a parsed snapshot stream (``read_snapshots``).
+
+    The ``final`` record embeds exactly the fields a post-hoc result
+    provides, so live and post-hoc verdicts agree byte-for-byte.
+    """
+    final = stream.get("final")
+    if not final:
+        header = stream.get("header") or {}
+        raise SLOError(
+            f"snapshot stream for {header.get('scenario')!r} has no final "
+            "record yet (run still in progress?)"
+        )
+    return {
+        "scenario": final["scenario"],
+        "seed": final["seed"],
+        "duration_fs": final["duration_fs"],
+        "violations_total": final["violations_total"],
+        "recovery": final["recovery"],
+        "observe": final["observe"],
+    }
+
+
+def evaluate_slo(
+    slo: Dict[str, object], source: Dict[str, object]
+) -> Dict[str, object]:
+    """One scenario against one SLO spec -> a digest-stable verdict dict."""
+    _validate(slo)
+    observe = source.get("observe")
+    if not isinstance(observe, dict):
+        raise SLOError("evaluation source has no 'observe' section")
+    objectives: List[Dict[str, object]] = []
+
+    def objective(name: str, limit: int, observed: int, ok: bool) -> None:
+        objectives.append(
+            {"objective": name, "limit": limit, "observed": observed, "pass": ok}
+        )
+
+    max_violations = slo.get("max_violations")
+    if max_violations is not None:
+        observed = int(source["violations_total"])
+        objective("max_violations", int(max_violations), observed,
+                  observed <= int(max_violations))
+
+    min_ppm = slo.get("min_in_bound_ppm")
+    if min_ppm is not None:
+        total = int(observe["observed_total"])
+        in_bound = int(observe["in_bound_total"])
+        # Exact integer comparison; a run with zero observations cannot
+        # vouch for anything, so it fails the objective outright.
+        ok = total > 0 and in_bound * 1_000_000 >= int(min_ppm) * total
+        observed_ppm = in_bound * 1_000_000 // total if total else -1
+        objective("min_in_bound_ppm", int(min_ppm), observed_ppm, ok)
+
+    max_offset = slo.get("max_offset_units")
+    if max_offset is not None:
+        observed = int(observe["max_offset_units"])
+        objective("max_offset_units", int(max_offset), observed,
+                  observed <= int(max_offset))
+
+    max_p99 = slo.get("max_offset_p99_units")
+    if max_p99 is not None:
+        hist = OffsetHistogram.from_dict(observe["histogram"])
+        observed = hist.quantile_ppm(990_000)
+        objective("max_offset_p99_units", int(max_p99), observed,
+                  observed <= int(max_p99))
+
+    deadline = slo.get("convergence_deadline_fs")
+    if deadline is not None:
+        first = int(observe["first_checkable_fs"])
+        objective("convergence_deadline_fs", int(deadline), first,
+                  0 <= first <= int(deadline))
+
+    ceilings = slo.get("max_recovery_fs") or {}
+    default_ceiling = ceilings.get("*")
+    recovery = source.get("recovery") or {}
+    for reason in sorted(recovery):
+        ceiling = ceilings.get(reason, default_ceiling)
+        if ceiling is None:
+            continue
+        observed = int(recovery[reason]["max_fs"])
+        objective(f"max_recovery_fs[{reason}]", int(ceiling), observed,
+                  observed <= int(ceiling))
+
+    return {
+        "record": "slo-verdict",
+        "version": 1,
+        "slo": slo["name"],
+        "scenario": source["scenario"],
+        "seed": source["seed"],
+        "pass": all(o["pass"] for o in objectives),
+        "objectives": objectives,
+    }
+
+
+def render_scorecard(verdicts: Dict[str, Dict[str, object]]) -> List[str]:
+    """Markdown "SLO scorecard" lines from ``{scenario: verdict}``."""
+    lines = [
+        "# SLO scorecard",
+        "",
+    ]
+    if not verdicts:
+        lines.append("_No SLO verdicts._")
+        return lines
+    slo_names = sorted({str(v["slo"]) for v in verdicts.values()})
+    lines.append(f"SLO: `{', '.join(slo_names)}`")
+    lines.append("")
+    lines.append("| scenario | verdict | breached objectives |")
+    lines.append("|---|---|---|")
+    for scenario in sorted(verdicts):
+        verdict = verdicts[scenario]
+        breached = [
+            f"{o['objective']} (observed {o['observed']}, limit {o['limit']})"
+            for o in verdict["objectives"]
+            if not o["pass"]
+        ]
+        status = "PASS" if verdict["pass"] else "**FAIL**"
+        lines.append(
+            f"| {scenario} | {status} | {'; '.join(breached) if breached else '—'} |"
+        )
+    lines.append("")
+    for scenario in sorted(verdicts):
+        verdict = verdicts[scenario]
+        lines.append(f"## {scenario}")
+        lines.append("")
+        lines.append("| objective | limit | observed | pass |")
+        lines.append("|---|---|---|---|")
+        for o in verdict["objectives"]:
+            lines.append(
+                f"| {o['objective']} | {o['limit']} | {o['observed']} "
+                f"| {'yes' if o['pass'] else 'no'} |"
+            )
+        lines.append("")
+    return lines

@@ -1,0 +1,255 @@
+"""Streaming snapshot taps: live, deterministic run telemetry.
+
+A :class:`SnapshotTap` writes one JSONL stream per scenario
+(``<name>.snapshots.jsonl``) while the run executes: a header record,
+one ``snapshot`` record per sampler-grid instant, and a ``final`` record
+once the result is assembled.  The stream is part of the deterministic
+artifact surface, so every field is an integer keyed to *simulated*
+time — no wall-clock values ever enter it (wall-clock health lives in
+the separate, explicitly nondeterministic ``repro.observe.health``
+channel).
+
+Determinism across backends comes from *where* the tap samples: the
+probe is driven from the invariant checker's existing sampler grid — the
+serial ``_sample`` closure in ``repro.faultlab.campaign`` and the
+coordinator's ``_SAMPLE`` merge-walk branch in ``repro.shard`` fire at
+the same simulated instants with the same checker state, so the scalar,
+batched and sharded backends emit byte-identical streams.
+
+Writes are batched (every ``flush_every`` snapshots) and each flush is a
+full atomic rewrite via :func:`repro.ioutil.atomic_write_text` — the
+same crash-consistency discipline as the resilience checkpoint journal —
+so a watcher never observes a torn line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ioutil import atomic_write_text
+from .histograms import OffsetHistogram
+
+#: Flush the stream every N snapshot records (plus once at finalize).
+DEFAULT_FLUSH_EVERY = 16
+
+SNAPSHOT_SUFFIX = ".snapshots.jsonl"
+
+
+def _dumps(obj: Dict[str, object]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class SnapshotTap:
+    """Incremental JSONL writer for one scenario's snapshot stream."""
+
+    def __init__(
+        self,
+        path: str,
+        header: Dict[str, object],
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+    ) -> None:
+        self.path = path
+        self.flush_every = max(1, int(flush_every))
+        self._lines: List[str] = [
+            _dumps({"record": "snapshot-header", "version": 1, **header})
+        ]
+        self._pending = 1
+        self.flushes = 0
+
+    def emit(self, fields: Dict[str, object]) -> None:
+        self._lines.append(_dumps({"record": "snapshot", **fields}))
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self.flush()
+
+    def finalize(self, fields: Dict[str, object]) -> None:
+        self._lines.append(_dumps({"record": "final", **fields}))
+        self.flush()
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        atomic_write_text(self.path, "\n".join(self._lines) + "\n")
+        self._pending = 0
+        self.flushes += 1
+
+
+class ObserveProbe:
+    """Accumulates offset distributions and emits snapshot records.
+
+    Fed once per sampler-grid instant with the adjacent-link offsets the
+    invariant checker can currently vouch for (see
+    ``InvariantChecker.link_offsets``).  All state is integer-only and
+    derived from simulated time, so two probes fed the same grid produce
+    identical summaries regardless of backend.
+    """
+
+    def __init__(self, tap: Optional[SnapshotTap] = None) -> None:
+        self.tap = tap
+        self.aggregate = OffsetHistogram()
+        self.links: Dict[str, OffsetHistogram] = {}
+        self.link_in_bound: Dict[str, int] = {}
+        self.samples = 0
+        self.observed_total = 0
+        self.in_bound_total = 0
+        self.first_checkable_fs = -1
+
+    def observe_links(
+        self,
+        now_fs: int,
+        worst: Optional[int],
+        links: Sequence[Tuple[str, str, int, int]],
+        checks_run: int = 0,
+        violations_total: int = 0,
+        trace_recorded: int = 0,
+    ) -> None:
+        """Record one grid instant: ``links`` is ``[(a, b, offset, bound)]``."""
+        if worst is not None and self.first_checkable_fs < 0:
+            self.first_checkable_fs = now_fs
+        for a, b, offset, bound in links:
+            key = f"{a}-{b}"
+            hist = self.links.get(key)
+            if hist is None:
+                hist = self.links[key] = OffsetHistogram()
+                self.link_in_bound[key] = 0
+            hist.observe(offset)
+            self.aggregate.observe(offset)
+            self.observed_total += 1
+            if offset <= bound:
+                self.in_bound_total += 1
+                self.link_in_bound[key] += 1
+        index = self.samples
+        self.samples += 1
+        if self.tap is not None:
+            self.tap.emit(
+                {
+                    "t_fs": now_fs,
+                    "index": index,
+                    "worst_units": worst,
+                    "links": len(links),
+                    "observed_total": self.observed_total,
+                    "in_bound_total": self.in_bound_total,
+                    "max_offset_units": self.aggregate.max_value,
+                    "checks_run": checks_run,
+                    "violations_total": violations_total,
+                    "trace_recorded": trace_recorded,
+                }
+            )
+
+    def sample(self, now_fs, worst, checker, trace_recorded: int = 0) -> None:
+        """Grid hook: pull link offsets and stats from ``checker``."""
+        self.observe_links(
+            now_fs,
+            worst,
+            checker.link_offsets(),
+            checks_run=checker.checks_run,
+            violations_total=checker.total_violations,
+            trace_recorded=trace_recorded,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """The ``result["observe"]`` section (digest-stable, ints only)."""
+        total = self.observed_total
+        agg = self.aggregate
+        links = {}
+        for key in sorted(self.links):
+            hist = self.links[key]
+            links[key] = {
+                "observed": hist.total,
+                "in_bound": self.link_in_bound[key],
+                "max_units": hist.max_value,
+                "p99_units": hist.quantile_ppm(990_000),
+                "hist": hist.as_dict(),
+            }
+        return {
+            "samples": self.samples,
+            "observed_total": total,
+            "in_bound_total": self.in_bound_total,
+            "in_bound_ppm": (
+                self.in_bound_total * 1_000_000 // total if total else -1
+            ),
+            "max_offset_units": agg.max_value,
+            "first_checkable_fs": self.first_checkable_fs,
+            "quantiles_units": {
+                "p50": agg.quantile_ppm(500_000),
+                "p90": agg.quantile_ppm(900_000),
+                "p99": agg.quantile_ppm(990_000),
+                "p100": agg.max_value,
+            },
+            "histogram": agg.as_dict(),
+            "links": links,
+        }
+
+    def finalize(self, result: Dict[str, object]) -> None:
+        """Write the ``final`` record from the assembled scenario result."""
+        if self.tap is None:
+            return
+        telemetry = result.get("telemetry")
+        self.tap.finalize(
+            {
+                "scenario": result.get("scenario"),
+                "seed": result.get("seed"),
+                "duration_fs": result.get("duration_fs"),
+                "violations_total": result.get("violations_total"),
+                "recovery": result.get("recovery"),
+                "observe": result.get("observe"),
+                "metrics_digest": (
+                    telemetry.get("metrics_digest") if telemetry else None
+                ),
+                "trace_digest": (
+                    telemetry.get("trace_digest") if telemetry else None
+                ),
+            }
+        )
+
+
+def snapshot_path(snapshot_dir: str, scenario: str) -> str:
+    return os.path.join(snapshot_dir, f"{scenario}{SNAPSHOT_SUFFIX}")
+
+
+def make_tap(
+    snapshot_dir: str, spec: Dict[str, object], seed: int, sample_interval_fs: int
+) -> SnapshotTap:
+    """A tap for one scenario run, with the standard header fields."""
+    os.makedirs(snapshot_dir, exist_ok=True)
+    name = str(spec["name"])
+    return SnapshotTap(
+        snapshot_path(snapshot_dir, name),
+        {
+            "scenario": name,
+            "seed": seed,
+            "duration_fs": int(spec["duration_fs"]),
+            "sample_interval_fs": sample_interval_fs,
+        },
+    )
+
+
+def read_snapshots(path: str) -> Dict[str, object]:
+    """Parse a snapshot stream: header, snapshot list, final (or None).
+
+    Tolerates a torn trailing line (a watcher racing a non-atomic copy of
+    the stream) by ignoring undecodable lines, mirroring the checkpoint
+    journal's recovery discipline.
+    """
+    header: Optional[Dict[str, object]] = None
+    snapshots: List[Dict[str, object]] = []
+    final: Optional[Dict[str, object]] = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            kind = record.get("record")
+            if kind == "snapshot-header":
+                header = record
+            elif kind == "snapshot":
+                snapshots.append(record)
+            elif kind == "final":
+                final = record
+    return {"header": header, "snapshots": snapshots, "final": final}

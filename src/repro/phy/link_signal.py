@@ -140,6 +140,14 @@ class CommaAligner:
             except Encoding8b10bError:
                 self.decode_errors += 1
                 self.aligned = False
+                # A phantom comma (corrupt bits fused with a real group's
+                # leading bits) can lock the boundary early, and the
+                # genuine comma may then sit *inside* the group that
+                # finally violates.  Re-hunt over the violating group's
+                # own bits — slipping exactly one so a comma-bearing but
+                # invalid group can't re-lock the same boundary forever.
+                self._bits[0:0] = [(group >> i) & 1 for i in range(1, 10)]
+                self.slips += 1
 
     def _hunt(self) -> bool:
         """Scan buffered bits for a comma; align the boundary on it."""

@@ -209,6 +209,7 @@ def run_supervised(
     jobs: Optional[int] = None,
     policy: Optional[SupervisorPolicy] = None,
     journal: Optional[CheckpointJournal] = None,
+    health=None,
 ) -> SupervisedRun:
     """Run ``tasks`` under supervision; see the module docstring.
 
@@ -217,6 +218,13 @@ def run_supervised(
     Task callables and arguments must therefore be picklable, exactly as
     :func:`~repro.experiments.parallel.run_tasks` requires; with a
     ``journal``, results must additionally be JSON-serializable.
+
+    ``health``, an optional :class:`~repro.observe.HealthRecorder`,
+    receives worker lifecycle events (running / done / retrying /
+    quarantined).  It is observational only: the supervisor's scheduling
+    decisions, results, and failure report are identical with or without
+    it (the health channel is explicitly nondeterministic and never part
+    of any identity surface).
     """
     tasks = list(tasks)
     names = [task.name for task in tasks]
@@ -263,6 +271,8 @@ def run_supervised(
         if journal is not None:
             journal.record(state.key, value)
         completions += 1
+        if health is not None:
+            health.task_state(state.task.name, "done", state.attempts + 1)
 
     def quarantine(state: _TaskState, last_kind: str) -> None:
         failures.append(
@@ -275,6 +285,8 @@ def run_supervised(
             )
         )
         quarantined.append(state.task.name)
+        if health is not None:
+            health.task_quarantine(state.task.name, last_kind, state.attempts)
 
     def record_failure(state: _TaskState, kind: str, detail: str) -> None:
         nonlocal completions, sequence
@@ -287,6 +299,8 @@ def run_supervised(
             quarantine(state, kind)
             return
         slots = backoff_slots(policy, state.task.name, state.attempts)
+        if health is not None:
+            health.task_retry(state.task.name, state.attempts, slots)
         if slots:
             sequence += 1
             deferred.append((completions + slots, sequence, state))
@@ -338,6 +352,10 @@ def run_supervised(
             # can be taken at submission time.
             while pending and len(in_flight) < workers:
                 state = pending.popleft()
+                if health is not None:
+                    health.task_state(
+                        state.task.name, "running", state.attempts + 1
+                    )
                 future = pool.submit(_invoke, state.task)
                 deadline = (
                     time.monotonic() + policy.timeout_s

@@ -43,6 +43,7 @@ from ..faultlab.campaign import (
 from ..faultlab.invariants import InvariantChecker
 from .. import metrics
 from ..ioutil import atomic_write_text
+from ..observe.snapshots import ObserveProbe, make_tap
 from ..sim.engine import Simulator
 from ..sim.randomness import RandomStreams
 from ..telemetry import dump_flight, write_metrics_json, write_trace_jsonl
@@ -154,6 +155,9 @@ def run_sharded(
     metrics_dir: Optional[str] = None,
     flight_dir: Optional[str] = None,
     stats_out: Optional[dict] = None,
+    snapshot_dir: Optional[str] = None,
+    observe: bool = False,
+    health=None,
 ) -> Dict[str, object]:
     """Run one (pre-validated) scenario across ``plan.shards`` workers.
 
@@ -161,7 +165,12 @@ def run_sharded(
     dict; writes the same artifacts to the same paths.  ``stats_out``, if
     given, receives runner statistics (events dispatched, rounds, wall
     time) on the side — deliberately outside the result, which must stay
-    byte-identical to the serial run.
+    byte-identical to the serial run.  The observe probe rides the
+    ``_SAMPLE`` merge-walk branch (the serial sampler grid replayed in
+    key order), so ``snapshot_dir`` / ``observe`` output is byte-identical
+    to the serial path too.  ``health``, an optional
+    :class:`~repro.observe.HealthRecorder`, receives window-protocol
+    progress — like ``stats_out``, deliberately outside the result.
     """
     name = str(spec.get("name", "scenario"))
     duration_fs = int(spec["duration_fs"])
@@ -226,6 +235,15 @@ def run_sharded(
             )
     checker_start = max(int(start_fs), 0)
 
+    probe: Optional[ObserveProbe] = None
+    if observe or snapshot_dir is not None:
+        tap = (
+            make_tap(snapshot_dir, spec, seed, sample_interval_fs)
+            if snapshot_dir is not None
+            else None
+        )
+        probe = ObserveProbe(tap=tap)
+
     grant_cap = duration_fs + 1
     pending: List[List[tuple]] = [[] for _ in range(shards)]
     sample_values: List[int] = []
@@ -265,6 +283,8 @@ def run_sharded(
         delivered = sum(len(p) for p in pending)
         if grant == prev_grant and delivered == 0:
             stalled += 1
+            if health is not None:
+                health.shard_stall(grant, stalled, _STALL_LIMIT)
             if stalled > _STALL_LIMIT:
                 raise CampaignError(
                     f"sharded window stalled at grant={grant} fs "
@@ -273,6 +293,12 @@ def run_sharded(
                 )
         else:
             stalled = 0
+        if health is not None:
+            health.shard_grant(
+                rounds + 1,
+                grant,
+                0 if prev_grant is None else max(0, grant - prev_grant),
+            )
         prev_grant = grant
 
         requests = [(grant, pending[s]) for s in range(shards)]
@@ -284,6 +310,15 @@ def run_sharded(
         for r in responses:
             for item in r["outbox"]:
                 pending[item[0]].append(item)
+        if health is not None:
+            for s, r in enumerate(responses):
+                promise = r["promise"]
+                health.shard_service(
+                    grant,
+                    s,
+                    len(r["records"]),
+                    0 if promise is None else max(0, promise - grant),
+                )
 
         # ---- merge-walk this round ---------------------------------
         items: List[tuple] = []
@@ -341,6 +376,15 @@ def run_sharded(
                 worst = checker.worst_checkable_offset()
                 if worst is not None:
                     sample_values.append(worst)
+                if probe is not None:
+                    probe.sample(
+                        view.sim.now,
+                        worst,
+                        checker,
+                        trace_recorded=(
+                            tracer.recorded if tracer is not None else 0
+                        ),
+                    )
 
         if (
             grant >= grant_cap
@@ -467,6 +511,11 @@ def run_sharded(
                 supervisor.link, supervisor.summary()
             )
         result["linkhealth"] = {"links": links}
+    if probe is not None:
+        # Mirrors run_scenario: only present on observed runs, and written
+        # to the snapshot stream's final record after the merge completes.
+        result["observe"] = probe.summary()
+        probe.finalize(result)
     if stats_out is not None:
         stats_out.update(
             events=events_dispatched,

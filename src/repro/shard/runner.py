@@ -11,6 +11,7 @@ byte-identical to the serial run.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional
 
 from ..faultlab.campaign import (
@@ -77,6 +78,9 @@ def run_sharded_scenario(
     shards: Optional[int] = None,
     transport: str = "process",
     stats_out: Optional[dict] = None,
+    snapshot_dir: Optional[str] = None,
+    observe: bool = False,
+    health_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run one scenario under ``--backend sharded``.
 
@@ -85,6 +89,9 @@ def run_sharded_scenario(
     resolve via :func:`resolve_shards`), ``transport`` (``"process"`` or
     ``"inline"``), and ``stats_out`` (a dict that receives events/rounds/
     wall-time statistics without touching the byte-stable result).
+    ``snapshot_dir`` / ``observe`` mirror the serial path byte-for-byte;
+    ``health_dir`` additionally writes the coordinator's
+    (nondeterministic) ``<scenario>.health.jsonl`` window-protocol log.
     """
     unknown = set(spec) - _SPEC_KEYS
     if unknown:
@@ -110,7 +117,7 @@ def run_sharded_scenario(
             "checker; the sharded backend replays checks after the fact"
         )
 
-    if telemetry is None and (trace_dir or metrics_dir or flight_dir):
+    if telemetry is None and (trace_dir or metrics_dir or flight_dir or snapshot_dir):
         telemetry = Telemetry()
 
     topology = build_topology(spec["topology"])
@@ -126,6 +133,11 @@ def run_sharded_scenario(
             f"unknown shard transport {transport!r}; known: "
             f"{sorted(TRANSPORTS)}"
         )
+    health = None
+    if health_dir is not None:
+        from ..observe.health import HealthRecorder
+
+        health = HealthRecorder(source=f"shard-coordinator/{spec['name']}")
     channel = factory()
     try:
         return run_sharded(
@@ -138,6 +150,14 @@ def run_sharded_scenario(
             metrics_dir=metrics_dir,
             flight_dir=flight_dir,
             stats_out=stats_out,
+            snapshot_dir=snapshot_dir,
+            observe=observe,
+            health=health,
         )
     finally:
         channel.close()
+        if health is not None:
+            os.makedirs(health_dir, exist_ok=True)
+            health.write(
+                os.path.join(health_dir, f"{spec['name']}.health.jsonl")
+            )

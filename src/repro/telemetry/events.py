@@ -74,6 +74,26 @@ EV_LINK_RESYNC = 19
 #: Quarantine-release handshake with the invariant checker completed.
 #: a = reconnect attempts the incident took, b = resync windows used.
 EV_LINK_RELEASE = 20
+#: Shard coordinator issued a window grant (``repro.observe`` health
+#: channel).  subject = ``coordinator``, a = round number (1-based),
+#: b = grant advance vs the previous round, fs.
+EV_SHARD_GRANT = 21
+#: Window round advanced no grant.  a = consecutive stalled rounds,
+#: b = the coordinator's stall limit.
+EV_SHARD_STALL = 22
+#: One shard serviced a window request.  subject = ``shard/<id>``,
+#: a = records replayed from that shard this round, b = lag (the shard's
+#: promise minus the grant, fs, clamped at 0).
+EV_SHARD_SERVICE = 23
+#: Supervised task changed state.  subject = ``task/<name>``, a = state
+#: code (:data:`SUPERVISOR_STATE_CODES`), b = attempt number.
+EV_SUPERVISOR_TASK = 24
+#: Supervisor scheduled a retry.  a = failed attempt number,
+#: b = backoff delay in scheduler slots.
+EV_SUPERVISOR_RETRY = 25
+#: Supervisor quarantined a task.  a = interned failure-reason id,
+#: b = attempts consumed.
+EV_SUPERVISOR_QUARANTINE = 26
 
 KIND_NAMES: Dict[int, str] = {
     EV_PORT_STATE: "port-state",
@@ -96,6 +116,12 @@ KIND_NAMES: Dict[int, str] = {
     EV_LINK_RECONNECT: "link-reconnect",
     EV_LINK_RESYNC: "link-resync",
     EV_LINK_RELEASE: "link-release",
+    EV_SHARD_GRANT: "shard-grant",
+    EV_SHARD_STALL: "shard-stall",
+    EV_SHARD_SERVICE: "shard-service",
+    EV_SUPERVISOR_TASK: "supervisor-task",
+    EV_SUPERVISOR_RETRY: "supervisor-retry",
+    EV_SUPERVISOR_QUARANTINE: "supervisor-quarantine",
 }
 
 #: ``EV_PORT_STATE`` argument ``a``: the port FSM state.
@@ -139,6 +165,16 @@ LINK_CAUSE_CODES: Dict[int, str] = {
     3: "signal-loss",
     4: "admin",
     5: "peer",
+}
+
+#: ``EV_SUPERVISOR_TASK`` argument ``a``: the supervised task's state
+#: (mirrors ``repro.resilience``; duplicated here so the schema table has
+#: no import cycle into the supervision package).
+SUPERVISOR_STATE_CODES: Dict[int, str] = {
+    0: "running",
+    1: "done",
+    2: "retrying",
+    3: "quarantined",
 }
 
 
@@ -248,6 +284,36 @@ EVENT_SCHEMA: Dict[int, Tuple[str, str, str]] = {
         "supervised link (link/<a>-<b>)",
         "reconnect attempts the incident took",
         "resync windows used before release",
+    ),
+    EV_SHARD_GRANT: (
+        "coordinator",
+        "window round number (1-based)",
+        "grant advance vs the previous round, fs",
+    ),
+    EV_SHARD_STALL: (
+        "coordinator",
+        "consecutive stalled rounds",
+        "stall limit before the coordinator aborts",
+    ),
+    EV_SHARD_SERVICE: (
+        "serviced shard (shard/<id>)",
+        "records replayed from the shard this round",
+        "shard lag: promise minus grant, fs (clamped at 0)",
+    ),
+    EV_SUPERVISOR_TASK: (
+        "supervised task (task/<name>)",
+        "state: running=0 / done=1 / retrying=2 / quarantined=3",
+        "attempt number",
+    ),
+    EV_SUPERVISOR_RETRY: (
+        "supervised task (task/<name>)",
+        "failed attempt number",
+        "backoff delay, scheduler slots",
+    ),
+    EV_SUPERVISOR_QUARANTINE: (
+        "supervised task (task/<name>)",
+        "interned failure-reason id",
+        "attempts consumed",
     ),
 }
 

@@ -1,0 +1,306 @@
+"""End-to-end promises of the observe layer: taps, SLOs, health, CLI.
+
+The mission-control contract has four load-bearing parts, each pinned
+here: snapshot streams are byte-identical across backends and worker
+counts; enabling the taps never perturbs the simulation itself; the SLO
+engine's *live* verdicts (from a stream's final record) equal its
+*post-hoc* verdicts (from the results dict); and the health channel is
+explicitly nondeterministic and segregated.  The CLI tests drive
+``repro status`` / ``watch`` / ``slo evaluate`` straight from a run
+directory, the way an operator would.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.discipline.racelab import race_specs, run_race_campaign
+from repro.faultlab.campaign import run_campaign, run_scenario
+from repro.faultlab.scenarios import builtin_specs
+from repro.observe import (
+    HealthRecorder,
+    SLOError,
+    builtin_slos,
+    evaluate_slo,
+    load_slo,
+    read_health,
+    read_snapshots,
+    slo_source_from_result,
+    slo_source_from_snapshots,
+)
+from repro.observe.cli import (
+    evaluate_results,
+    evaluate_rundir,
+    main as observe_main,
+)
+
+
+def canon(result) -> str:
+    return json.dumps(result, sort_keys=True)
+
+
+def tree(root: Path):
+    """{relative path: bytes} for every file under ``root``."""
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def spec_for(name: str):
+    return builtin_specs([name], quick=True)[0]
+
+
+# ----------------------------------------------------------------------
+# Snapshot streams: deterministic, backend- and jobs-invariant
+# ----------------------------------------------------------------------
+class TestSnapshotStreams:
+    def test_streams_identical_across_backends(self, tmp_path):
+        trees = {}
+        for backend in ("scalar", "batched", "sharded"):
+            out = tmp_path / backend
+            kwargs = {"backend": backend}
+            if backend == "sharded":
+                kwargs.update(shards=2, shard_transport="inline")
+            run_scenario(
+                spec_for("baseline"),
+                seed=0,
+                snapshot_dir=str(out),
+                observe=True,
+                **kwargs,
+            )
+            trees[backend] = tree(out)
+        assert trees["scalar"] == trees["batched"] == trees["sharded"]
+        assert any(p.endswith(".snapshots.jsonl") for p in trees["scalar"])
+
+    def test_streams_identical_serial_vs_jobs2(self, tmp_path):
+        specs = builtin_specs(["baseline", "partition-heal"], quick=True)
+        serial_dir, par_dir = tmp_path / "serial", tmp_path / "par"
+        serial = run_campaign(
+            specs, base_seed=0, jobs=1, snapshot_dir=str(serial_dir), observe=True
+        )
+        parallel = run_campaign(
+            specs, base_seed=0, jobs=2, snapshot_dir=str(par_dir), observe=True
+        )
+        assert canon(serial) == canon(parallel)
+        assert tree(serial_dir) == tree(par_dir)
+
+    def test_taps_do_not_perturb_the_run(self):
+        plain = run_scenario(spec_for("baseline"), seed=0)
+        tapped = run_scenario(spec_for("baseline"), seed=0, observe=True)
+        assert "observe" not in plain
+        observed = dict(tapped)
+        assert observed.pop("observe")["samples"] > 0
+        assert canon(observed) == canon(plain)
+
+    def test_stream_is_valid_and_final(self, tmp_path):
+        run_scenario(
+            spec_for("baseline"), seed=0, snapshot_dir=str(tmp_path), observe=True
+        )
+        path = next(tmp_path.glob("*.snapshots.jsonl"))
+        stream = read_snapshots(str(path))
+        header = stream["header"]
+        assert header["scenario"] == "baseline"
+        assert header["seed"] == 0
+        assert header["sample_interval_fs"] > 0
+        snaps = stream["snapshots"]
+        assert snaps and stream["final"] is not None
+        times = [s["t_fs"] for s in snaps]
+        assert times == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# Precision-SLO engine
+# ----------------------------------------------------------------------
+class TestSLOEngine:
+    def test_live_equals_posthoc_verdicts(self, tmp_path):
+        specs = builtin_specs(["baseline", "two-faced"], quick=True)
+        results = run_campaign(
+            specs, base_seed=0, jobs=1, snapshot_dir=str(tmp_path), observe=True
+        )
+        slo = load_slo("default")
+        live = evaluate_rundir(str(tmp_path), slo)
+        posthoc = evaluate_results(results, slo)
+        assert canon(live) == canon(posthoc)
+
+    def test_two_faced_breaches_default_and_baseline_passes(self):
+        slo = load_slo("default")
+        good = evaluate_slo(
+            slo,
+            slo_source_from_result(
+                run_scenario(spec_for("baseline"), seed=0, observe=True)
+            ),
+        )
+        bad = evaluate_slo(
+            slo,
+            slo_source_from_result(
+                run_scenario(spec_for("two-faced"), seed=0, observe=True)
+            ),
+        )
+        assert good["pass"]
+        assert not bad["pass"]
+        assert any(not o["pass"] for o in bad["objectives"])
+
+    def test_source_from_snapshots_matches_result(self, tmp_path):
+        result = run_scenario(
+            spec_for("baseline"), seed=0, snapshot_dir=str(tmp_path), observe=True
+        )
+        path = next(tmp_path.glob("*.snapshots.jsonl"))
+        from_stream = slo_source_from_snapshots(read_snapshots(str(path)))
+        from_result = slo_source_from_result(result)
+        assert canon(from_stream) == canon(from_result)
+
+    def test_builtin_specs_and_bad_slo(self):
+        assert set(builtin_slos()) >= {"default", "strict"}
+        with pytest.raises(SLOError):
+            load_slo("no-such-slo")
+        with pytest.raises(SLOError):
+            load_slo('{"objectives": "not-a-list"}')
+
+
+# ----------------------------------------------------------------------
+# Mission-control CLI
+# ----------------------------------------------------------------------
+class TestObserveCLI:
+    @pytest.fixture()
+    def rundir(self, tmp_path):
+        run_campaign(
+            builtin_specs(["baseline", "two-faced"], quick=True),
+            base_seed=0,
+            jobs=1,
+            snapshot_dir=str(tmp_path),
+            observe=True,
+        )
+        return tmp_path
+
+    def test_status_renders_each_scenario(self, rundir, capsys):
+        assert observe_main(["status", str(rundir)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "two-faced" in out
+        assert "done" in out
+
+    def test_watch_once(self, rundir, capsys):
+        assert observe_main(["watch", str(rundir), "--once", "--no-clear"]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_slo_evaluate_exit_codes_and_artifacts(self, rundir, tmp_path, capsys):
+        out_dir = tmp_path / "verdicts"
+        code = observe_main(
+            ["slo", "evaluate", str(rundir), "--slo", "default",
+             "--out", str(out_dir)]
+        )
+        assert code == 1  # two-faced breaches
+        printed = capsys.readouterr().out
+        assert "FAIL" in printed and "PASS" in printed
+        assert (out_dir / "two-faced.slo.json").is_file()
+        assert (out_dir / "slo_scorecard.md").is_file()
+        with open(out_dir / "baseline.slo.json", encoding="utf-8") as fh:
+            assert json.load(fh)["pass"] is True
+
+    def test_slo_evaluate_results_json(self, tmp_path, capsys):
+        result = run_scenario(spec_for("baseline"), seed=0, observe=True)
+        results_path = tmp_path / "results.json"
+        results_path.write_text(canon({"baseline": result}), encoding="utf-8")
+        code = observe_main(
+            ["slo", "evaluate", "--results", str(results_path), "--slo", "default"]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_empty_rundir_and_bad_slo_are_errors(self, tmp_path):
+        assert observe_main(["slo", "evaluate", str(tmp_path)]) == 2
+        assert (
+            observe_main(["slo", "evaluate", str(tmp_path), "--slo", "nope"]) == 2
+        )
+
+    def test_repro_cli_dispatch(self, rundir, capsys):
+        assert repro_main(["status", str(rundir)]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Health channel: real signals, explicitly nondeterministic
+# ----------------------------------------------------------------------
+class TestHealthChannel:
+    def test_recorder_round_trip(self, tmp_path):
+        rec = HealthRecorder(source="supervisor")
+        rec.shard_grant(1, 1_000_000, 500_000)
+        rec.shard_service(1_000_000, 0, 12, 250_000)
+        rec.shard_stall(1_000_000, 1, 8)
+        rec.task_state("baseline", "running", 1)
+        rec.task_retry("baseline", 1, 2)
+        rec.task_quarantine("baseline", "crash", 3)
+        path = tmp_path / "campaign.health.jsonl"
+        rec.write(str(path))
+
+        health = read_health(str(path))
+        header = health["header"]
+        assert header["deterministic"] is False
+        assert header["source"] == "supervisor"
+        assert header["events"] == 6
+        names = [event["name"] for event in health["events"]]
+        assert names == [
+            "shard-grant",
+            "shard-service",
+            "shard-stall",
+            "supervisor-task",
+            "supervisor-retry",
+            "supervisor-quarantine",
+        ]
+        metrics = health["metrics"]["metrics"]
+        assert sum(
+            int(v)
+            for v in metrics["observe_worker_retries_total"]["samples"].values()
+        ) == 1
+        assert sum(
+            int(v)
+            for v in metrics["observe_worker_quarantines_total"]["samples"].values()
+        ) == 1
+
+    def test_campaign_health_artifact(self, tmp_path):
+        run_scenario(
+            spec_for("baseline"),
+            seed=0,
+            backend="sharded",
+            shards=2,
+            shard_transport="inline",
+            health_dir=str(tmp_path),
+        )
+        path = next(tmp_path.glob("*.health.jsonl"))
+        health = read_health(str(path))
+        assert health["header"]["deterministic"] is False
+        assert str(health["header"]["source"]).startswith("shard-coordinator")
+
+
+# ----------------------------------------------------------------------
+# Racelab export rides along without touching fairness
+# ----------------------------------------------------------------------
+class TestRacelabExport:
+    def test_trace_and_metrics_export(self, tmp_path):
+        specs = race_specs(("baseline",), quick=True)
+        plain = run_race_campaign(specs, disciplines=("pi", "daemon"), base_seed=3)
+        exported = run_race_campaign(
+            race_specs(("baseline",), quick=True),
+            disciplines=("pi", "daemon"),
+            base_seed=3,
+            trace_dir=str(tmp_path / "traces"),
+            metrics_dir=str(tmp_path / "metrics"),
+        )
+        # Per-discipline subdirectories, so scenario-keyed names can't collide.
+        for discipline in ("pi", "daemon"):
+            assert list((tmp_path / "traces" / discipline).iterdir())
+            assert list((tmp_path / "metrics" / discipline).iterdir())
+        # The fairness digest ignores the telemetry overlay: exporting
+        # changes nothing about who won or what the scenario did.
+        assert (
+            exported["baseline"]["scenario_digest"]
+            == plain["baseline"]["scenario_digest"]
+        )
+        assert canon(exported["baseline"]["entries"]) == canon(
+            plain["baseline"]["entries"]
+        )

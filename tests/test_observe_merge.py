@@ -1,0 +1,123 @@
+"""Mergeable-histogram laws and the cross-backend distribution contract.
+
+The SLO engine's quantiles only deserve trust if the underlying
+histograms merge like counters: associative, commutative, and
+order-independent, so the sharded backend's per-shard partials can fold
+together in any grouping and still equal the serial bytes.  Hypothesis
+pins the algebra; the builtin sweep pins the end-to-end promise — the
+``observe`` section of every builtin scenario's result is byte-identical
+between the scalar and sharded backends.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faultlab.campaign import run_scenario
+from repro.faultlab.scenarios import BUILTIN_SCENARIOS, builtin_specs
+from repro.observe import OffsetHistogram
+
+#: Offsets in counter units: zero, in-band values, and overflow monsters.
+offsets = st.integers(min_value=0, max_value=1 << 26)
+offset_lists = st.lists(offsets, max_size=200)
+
+
+def filled(values) -> OffsetHistogram:
+    hist = OffsetHistogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+def canon(hist: OffsetHistogram) -> str:
+    return json.dumps(hist.as_dict(), sort_keys=True)
+
+
+class TestMergeAlgebra:
+    @given(offset_lists, offset_lists)
+    def test_merge_equals_observing_concatenation(self, xs, ys):
+        merged = filled(xs)
+        merged.merge(filled(ys))
+        assert canon(merged) == canon(filled(xs + ys))
+
+    @given(offset_lists, offset_lists)
+    def test_merge_commutes(self, xs, ys):
+        ab = filled(xs)
+        ab.merge(filled(ys))
+        ba = filled(ys)
+        ba.merge(filled(xs))
+        assert canon(ab) == canon(ba)
+
+    @given(offset_lists, offset_lists, offset_lists)
+    def test_merge_associates(self, xs, ys, zs):
+        left = filled(xs)
+        left.merge(filled(ys))
+        left.merge(filled(zs))
+        inner = filled(ys)
+        inner.merge(filled(zs))
+        right = filled(xs)
+        right.merge(inner)
+        assert canon(left) == canon(right)
+
+    @given(st.lists(offset_lists, max_size=6), st.randoms())
+    def test_merged_is_order_independent(self, parts, rng):
+        forward = OffsetHistogram.merged([filled(p) for p in parts])
+        shuffled = list(parts)
+        rng.shuffle(shuffled)
+        backward = OffsetHistogram.merged([filled(p) for p in shuffled])
+        assert canon(forward) == canon(backward)
+
+    @given(offset_lists)
+    def test_dict_round_trip(self, xs):
+        hist = filled(xs)
+        assert canon(OffsetHistogram.from_dict(hist.as_dict())) == canon(hist)
+
+
+class TestQuantiles:
+    @given(offset_lists.filter(bool))
+    def test_quantiles_monotone_and_bounded(self, xs):
+        hist = filled(xs)
+        qs = [hist.quantile_ppm(q) for q in (0, 250_000, 500_000,
+                                             900_000, 990_000, 1_000_000)]
+        assert qs == sorted(qs)
+        assert qs[-1] == max(xs)  # q=1.0 is the exact maximum
+
+    @given(offset_lists.filter(bool))
+    def test_quantile_upper_bounds_true_rank(self, xs):
+        # A bucket-upper estimate never under-reports: at least q of the
+        # mass really is <= the reported value.
+        hist = filled(xs)
+        for q_ppm in (500_000, 900_000, 990_000):
+            estimate = hist.quantile_ppm(q_ppm)
+            at_or_below = sum(1 for x in xs if x <= estimate)
+            assert at_or_below * 1_000_000 >= q_ppm * len(xs)
+
+    def test_empty_histogram(self):
+        hist = OffsetHistogram()
+        assert hist.quantile_ppm(990_000) == 0
+        assert hist.as_dict()["total"] == 0
+
+
+# ----------------------------------------------------------------------
+# The end-to-end promise the algebra exists for
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", list(BUILTIN_SCENARIOS))
+def test_observe_identical_serial_vs_sharded(name):
+    spec = builtin_specs([name], quick=True)[0]
+    serial = run_scenario(dict(spec), seed=0, observe=True)
+    sharded = run_scenario(
+        dict(spec),
+        seed=0,
+        observe=True,
+        backend="sharded",
+        shards=2,
+        shard_transport="inline",
+    )
+    assert "observe" in serial
+    canon_s = json.dumps(serial, sort_keys=True)
+    canon_p = json.dumps(sharded, sort_keys=True)
+    assert canon_s == canon_p
